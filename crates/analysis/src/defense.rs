@@ -1,0 +1,257 @@
+//! Defense prototypes from the paper's discussion (§5).
+//!
+//! > "Anomaly detection systems could be trained adaptively on words
+//! > being searched for by the legitimate account owner over a period of
+//! > time. A deviation of search behavior would then be flagged as
+//! > anomalous […] Similarly, anomaly detection systems could be trained
+//! > on the durations of connections during benign usage, and deviations
+//! > from those could be flagged as anomalous."
+//!
+//! Both proposed detectors, implemented and evaluable against the
+//! simulation (which — unlike the paper — has provider-side ground truth
+//! to score them with):
+//!
+//! * [`SearchAnomalyDetector`] — trains on the account owner's corpus
+//!   vocabulary and scores queries by how unusual their terms are for
+//!   this mailbox's usage profile;
+//! * [`RangeAnomalyDetector`] — trains on benign session durations (or
+//!   any scalar behaviour) and flags values outside the benign quantile
+//!   band.
+
+use crate::stats::Ecdf;
+use std::collections::HashMap;
+
+/// Scores search queries against the owner's vocabulary profile.
+///
+/// Training counts term usage in the owner's mail. A query's anomaly
+/// score is the mean rarity of its terms — `1/(1+count)` per term — so a
+/// query made of everyday mailbox vocabulary scores near 0 and a query
+/// for terms the owner rarely (or never) uses scores near 1.
+#[derive(Clone, Debug, Default)]
+pub struct SearchAnomalyDetector {
+    counts: HashMap<String, u64>,
+}
+
+impl SearchAnomalyDetector {
+    /// An untrained detector (everything is anomalous).
+    pub fn new() -> SearchAnomalyDetector {
+        SearchAnomalyDetector::default()
+    }
+
+    /// Train on the owner's term stream (tokenized mailbox text).
+    pub fn train<I, S>(&mut self, terms: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: AsRef<str>,
+    {
+        for t in terms {
+            *self.counts.entry(t.as_ref().to_lowercase()).or_insert(0) += 1;
+        }
+    }
+
+    /// Anomaly score of one query in `[0, 1]`; 1 = never-seen vocabulary.
+    /// Empty queries score 0 (nothing to judge).
+    pub fn score(&self, query: &str) -> f64 {
+        let terms: Vec<&str> = query.split_whitespace().collect();
+        if terms.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = terms
+            .iter()
+            .map(|t| {
+                let c = self.counts.get(&t.to_lowercase()).copied().unwrap_or(0);
+                1.0 / (1.0 + c as f64)
+            })
+            .sum();
+        total / terms.len() as f64
+    }
+
+    /// Whether `query` exceeds the anomaly `threshold`.
+    pub fn is_anomalous(&self, query: &str, threshold: f64) -> bool {
+        self.score(query) > threshold
+    }
+
+    /// Number of distinct trained terms.
+    pub fn vocabulary_size(&self) -> usize {
+        self.counts.len()
+    }
+}
+
+/// Flags scalar behaviour (e.g. session duration in minutes) outside the
+/// benign quantile band.
+#[derive(Clone, Debug)]
+pub struct RangeAnomalyDetector {
+    lo: f64,
+    hi: f64,
+}
+
+impl RangeAnomalyDetector {
+    /// Train on benign samples, keeping the `[q_lo, q_hi]` quantile band
+    /// as "normal". Panics on an empty training set or an inverted band.
+    pub fn train(benign: &[f64], q_lo: f64, q_hi: f64) -> RangeAnomalyDetector {
+        assert!(!benign.is_empty(), "cannot train on nothing");
+        assert!(q_lo < q_hi, "inverted quantile band");
+        let e = Ecdf::new(benign.to_vec());
+        RangeAnomalyDetector {
+            lo: e.quantile(q_lo).expect("non-empty"),
+            hi: e.quantile(q_hi).expect("non-empty"),
+        }
+    }
+
+    /// Train an upper-bound-only detector: values above the `q_hi`
+    /// quantile of benign behaviour are anomalous, nothing is "too
+    /// small". The right shape for session durations, where a
+    /// single-observation access measures as zero.
+    pub fn train_upper(benign: &[f64], q_hi: f64) -> RangeAnomalyDetector {
+        assert!(!benign.is_empty(), "cannot train on nothing");
+        let e = Ecdf::new(benign.to_vec());
+        RangeAnomalyDetector {
+            lo: f64::NEG_INFINITY,
+            hi: e.quantile(q_hi).expect("non-empty"),
+        }
+    }
+
+    /// The learned benign band.
+    pub fn band(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Whether `value` falls outside the benign band.
+    pub fn is_anomalous(&self, value: f64) -> bool {
+        value < self.lo || value > self.hi
+    }
+}
+
+/// Evaluation of a detector over labelled examples.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DetectionReport {
+    /// Attacker examples flagged (true positives).
+    pub detected: usize,
+    /// Attacker examples total.
+    pub attacker_total: usize,
+    /// Benign examples flagged (false positives).
+    pub false_positives: usize,
+    /// Benign examples total.
+    pub benign_total: usize,
+}
+
+impl DetectionReport {
+    /// True-positive rate.
+    pub fn tpr(&self) -> f64 {
+        self.detected as f64 / self.attacker_total.max(1) as f64
+    }
+
+    /// False-positive rate.
+    pub fn fpr(&self) -> f64 {
+        self.false_positives as f64 / self.benign_total.max(1) as f64
+    }
+}
+
+/// Evaluate the search detector on attacker queries vs benign owner
+/// queries at `threshold`.
+pub fn evaluate_search_detector(
+    detector: &SearchAnomalyDetector,
+    attacker_queries: &[String],
+    benign_queries: &[String],
+    threshold: f64,
+) -> DetectionReport {
+    DetectionReport {
+        detected: attacker_queries
+            .iter()
+            .filter(|q| detector.is_anomalous(q, threshold))
+            .count(),
+        attacker_total: attacker_queries.len(),
+        false_positives: benign_queries
+            .iter()
+            .filter(|q| detector.is_anomalous(q, threshold))
+            .count(),
+        benign_total: benign_queries.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trained() -> SearchAnomalyDetector {
+        let mut d = SearchAnomalyDetector::new();
+        // The owner's mailbox talks endlessly about energy business.
+        let corpus: Vec<&str> = "energy transfer company schedule meeting report energy transfer \
+                                 company energy power market trading energy report schedule"
+            .split_whitespace()
+            .collect();
+        d.train(corpus);
+        d
+    }
+
+    #[test]
+    fn owner_vocabulary_scores_low() {
+        let d = trained();
+        assert!(d.score("energy transfer") < 0.3);
+        assert!(!d.is_anomalous("energy report", 0.5));
+    }
+
+    #[test]
+    fn attacker_vocabulary_scores_high() {
+        let d = trained();
+        assert!(d.score("bitcoin wallet") > 0.9);
+        assert!(d.score("password banking") > 0.9);
+        assert!(d.is_anomalous("payment account", 0.5));
+    }
+
+    #[test]
+    fn score_is_case_insensitive_and_bounded() {
+        let d = trained();
+        assert_eq!(d.score("ENERGY"), d.score("energy"));
+        assert_eq!(d.score(""), 0.0);
+        for q in ["energy", "bitcoin", "energy bitcoin", "x y z"] {
+            let s = d.score(q);
+            assert!((0.0..=1.0).contains(&s), "{q}: {s}");
+        }
+    }
+
+    #[test]
+    fn untrained_flags_everything() {
+        let d = SearchAnomalyDetector::new();
+        assert_eq!(d.vocabulary_size(), 0);
+        assert!(d.is_anomalous("anything at all", 0.5));
+    }
+
+    #[test]
+    fn range_detector_flags_outliers() {
+        let benign: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let d = RangeAnomalyDetector::train(&benign, 0.05, 0.95);
+        let (lo, hi) = d.band();
+        assert!(lo >= 1.0 && hi <= 100.0);
+        assert!(d.is_anomalous(0.1));
+        assert!(d.is_anomalous(500.0));
+        assert!(!d.is_anomalous(50.0));
+    }
+
+    #[test]
+    fn evaluation_report_rates() {
+        let d = trained();
+        let attacker = vec!["bitcoin".to_string(), "payment account".to_string()];
+        let benign = vec!["energy report".to_string(), "meeting schedule".to_string()];
+        let r = evaluate_search_detector(&d, &attacker, &benign, 0.5);
+        assert_eq!(r.attacker_total, 2);
+        assert_eq!(r.benign_total, 2);
+        assert!(r.tpr() >= 0.5);
+        assert!(r.fpr() <= 0.5);
+    }
+
+    #[test]
+    fn upper_only_detector_never_flags_small_values() {
+        let benign: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        let d = RangeAnomalyDetector::train_upper(&benign, 0.99);
+        assert!(!d.is_anomalous(0.0));
+        assert!(!d.is_anomalous(50.0));
+        assert!(d.is_anomalous(10_000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot train on nothing")]
+    fn range_detector_rejects_empty_training() {
+        RangeAnomalyDetector::train(&[], 0.05, 0.95);
+    }
+}

@@ -1,0 +1,182 @@
+//! Extended analyses beyond the paper's figures.
+//!
+//! Three views the paper's discussion motivates but never plots, useful
+//! for the defense-design implications of §5 (training anomaly detectors
+//! on connection behaviour):
+//!
+//! * the distribution of accesses per account and outlet (how contended
+//!   is a leaked credential?);
+//! * the revisit tail per taxonomy class (what fraction of accesses come
+//!   back after a day — the behaviour that distinguishes our results
+//!   from Bursztein et al.'s one-shot hijackers);
+//! * the weekly access timeline (the decay-and-burst rhythm of Figure 4,
+//!   aggregated).
+
+use crate::stats::Ecdf;
+use crate::taxonomy::classify;
+use pwnd_monitor::dataset::Dataset;
+use std::collections::BTreeMap;
+
+/// The extended statistics bundle.
+#[derive(Clone, Debug)]
+pub struct ExtendedStats {
+    /// Per outlet: ECDF of accesses-per-account (only accounts with ≥ 1
+    /// access contribute).
+    pub accesses_per_account: Vec<(String, Ecdf)>,
+    /// Per dominant class: fraction of accesses whose observed span
+    /// exceeds one day.
+    pub revisit_fraction: Vec<(String, f64)>,
+    /// Accesses binned by experiment week (by first sighting).
+    pub weekly_accesses: Vec<(u64, usize)>,
+}
+
+/// Compute the extended statistics.
+pub fn extended(ds: &Dataset) -> ExtendedStats {
+    // Accesses per account, grouped by outlet.
+    let mut per_account: BTreeMap<(String, u32), usize> = BTreeMap::new();
+    for a in &ds.accesses {
+        if let Some(rec) = ds.account_record(a.account) {
+            *per_account
+                .entry((rec.outlet.clone(), a.account))
+                .or_insert(0) += 1;
+        }
+    }
+    let mut per_outlet: BTreeMap<String, Vec<f64>> = BTreeMap::new();
+    for ((outlet, _), n) in per_account {
+        per_outlet.entry(outlet).or_default().push(n as f64);
+    }
+    let accesses_per_account = per_outlet
+        .into_iter()
+        .map(|(outlet, counts)| (outlet, Ecdf::new(counts)))
+        .collect();
+
+    // Revisit fraction per class.
+    let mut class_counts: BTreeMap<&'static str, (usize, usize)> = BTreeMap::new();
+    for a in &ds.accesses {
+        let label = classify(a).dominant();
+        let e = class_counts.entry(label).or_insert((0, 0));
+        e.0 += 1;
+        if a.duration_secs() > 86_400 {
+            e.1 += 1;
+        }
+    }
+    let revisit_fraction = class_counts
+        .into_iter()
+        .map(|(label, (n, revisits))| {
+            (label.to_string(), revisits as f64 / n.max(1) as f64)
+        })
+        .collect();
+
+    // Weekly timeline.
+    let mut weekly: BTreeMap<u64, usize> = BTreeMap::new();
+    for a in &ds.accesses {
+        let leak = ds
+            .account_record(a.account)
+            .map(|r| r.leaked_at_secs)
+            .unwrap_or(0);
+        let week = a.first_seen_secs.saturating_sub(leak) / (7 * 86_400);
+        *weekly.entry(week).or_insert(0) += 1;
+    }
+    ExtendedStats {
+        accesses_per_account,
+        revisit_fraction,
+        weekly_accesses: weekly.into_iter().collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_monitor::dataset::{AccountRecord, ParsedAccess};
+
+    fn access(account: u32, cookie: u64, first: u64, last: u64, opened: u32) -> ParsedAccess {
+        ParsedAccess {
+            account,
+            cookie,
+            first_seen_secs: first,
+            last_seen_secs: last,
+            ip: "1.1.1.1".into(),
+            country: None,
+            city: "X".into(),
+            lat: 0.0,
+            lon: 0.0,
+            browser: "Chrome".into(),
+            os: "Windows".into(),
+            via_tor: false,
+            opened,
+            sent: 0,
+            drafts: 0,
+            starred: 0,
+            hijacker: false,
+            has_location_row: true,
+        }
+    }
+
+    fn dataset() -> Dataset {
+        Dataset {
+            accesses: vec![
+                access(0, 1, 0, 10, 0),                    // curious, no revisit
+                access(0, 2, 0, 3 * 86_400, 0),            // curious, revisits
+                access(1, 3, 8 * 86_400, 8 * 86_400, 2),   // gold digger week 1
+            ],
+            accounts: vec![
+                AccountRecord {
+                    account: 0,
+                    outlet: "paste".into(),
+                    advertised_region: None,
+                    leaked_at_secs: 0,
+                    hijack_detected_secs: None,
+                    block_detected_secs: None,
+                },
+                AccountRecord {
+                    account: 1,
+                    outlet: "forum".into(),
+                    advertised_region: None,
+                    leaked_at_secs: 0,
+                    hijack_detected_secs: None,
+                    block_detected_secs: None,
+                },
+            ],
+            opened_texts: vec![],
+        }
+    }
+
+    #[test]
+    fn accesses_per_account_grouped_by_outlet() {
+        let e = extended(&dataset());
+        let paste = &e
+            .accesses_per_account
+            .iter()
+            .find(|(o, _)| o == "paste")
+            .unwrap()
+            .1;
+        assert_eq!(paste.len(), 1); // one paste account with accesses
+        assert_eq!(paste.median(), Some(2.0)); // it got two accesses
+    }
+
+    #[test]
+    fn revisit_fraction_counts_multi_day_spans() {
+        let e = extended(&dataset());
+        let curious = e
+            .revisit_fraction
+            .iter()
+            .find(|(l, _)| l == "Curious")
+            .unwrap()
+            .1;
+        assert!((curious - 0.5).abs() < 1e-9); // 1 of 2 curious accesses
+    }
+
+    #[test]
+    fn weekly_timeline_bins_by_leak_offset() {
+        let e = extended(&dataset());
+        assert_eq!(e.weekly_accesses, vec![(0, 2), (1, 1)]);
+    }
+
+    #[test]
+    fn empty_dataset_is_fine() {
+        let e = extended(&Dataset::default());
+        assert!(e.accesses_per_account.is_empty());
+        assert!(e.revisit_fraction.is_empty());
+        assert!(e.weekly_accesses.is_empty());
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # pwnd-analysis — the paper's §4 analysis pipeline
+//!
+//! Everything the evaluation section computes, implemented over the
+//! *censored* monitoring dataset (never over simulator ground truth):
+//!
+//! * [`stats`] — empirical CDFs, medians, quantiles;
+//! * [`taxonomy`] — the §4.2 access taxonomy (curious / gold digger /
+//!   spammer / hijacker), inferred from observable actions only;
+//! * [`cvm`] — the two-sample Cramér–von Mises test (Anderson's
+//!   version), with both the asymptotic p-value (Bessel-function series,
+//!   matching `scipy.stats.cramervonmises_2samp`) and a seeded
+//!   permutation p-value;
+//! * [`tfidf`] — the §4.3.5 keyword-inference method: smoothed,
+//!   L2-normalized TF-IDF over the two-document corpus {all emails,
+//!   opened emails}, whose difference vector recovers what attackers
+//!   searched for;
+//! * [`figures`] — data series for Figures 1–6;
+//! * [`tables`] — the §4.1 overview, Table 1, origin statistics
+//!   (Tor / blacklist / country counts) and Table 2;
+//! * [`sophistication`] — the §4.5 per-outlet stealth scores;
+//! * [`report`] — ASCII rendering of the full evaluation.
+
+pub mod cvm;
+pub mod defense;
+pub mod export;
+pub mod extended;
+pub mod figures;
+pub mod report;
+pub mod sophistication;
+pub mod stats;
+pub mod tables;
+pub mod taxonomy;
+pub mod tfidf;
+
+pub use cvm::{cramer_von_mises_2samp, permutation_p_value, CvmResult};
+pub use stats::Ecdf;
+pub use taxonomy::{classify, AccessClasses};
+pub use tfidf::TfidfTable;

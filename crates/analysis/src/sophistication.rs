@@ -1,0 +1,130 @@
+//! §4.5: per-outlet attacker sophistication.
+//!
+//! The paper identifies three stealth behaviours: configuration hiding
+//! (unfingerprintable browsers), origin anonymization (Tor) / location
+//! filter evasion, and non-destructiveness (no hijacking, no spamming).
+//! Malware-outlet attackers score highest on all three; forum attackers
+//! lowest.
+
+use crate::taxonomy::classify;
+use pwnd_monitor::dataset::Dataset;
+
+/// Stealth metrics for one outlet population.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SophisticationRow {
+    /// Outlet label.
+    pub outlet: String,
+    /// Fraction of accesses with an unidentifiable browser.
+    pub config_hidden: f64,
+    /// Fraction of accesses via Tor.
+    pub tor: f64,
+    /// Fraction of accesses that performed no destructive action
+    /// (neither hijack nor spam).
+    pub non_destructive: f64,
+    /// Combined stealth score: the mean of the three components.
+    pub score: f64,
+}
+
+/// Compute the sophistication table.
+pub fn sophistication(ds: &Dataset) -> Vec<SophisticationRow> {
+    crate::figures::OUTLETS
+        .iter()
+        .map(|&outlet| {
+            let accesses: Vec<_> = ds.accesses_for_outlet(outlet).collect();
+            let n = accesses.len().max(1) as f64;
+            let hidden = accesses.iter().filter(|a| a.browser == "Unknown").count() as f64 / n;
+            let tor = accesses.iter().filter(|a| a.via_tor).count() as f64 / n;
+            let gentle = accesses
+                .iter()
+                .filter(|a| {
+                    let c = classify(a);
+                    !c.hijacker && !c.spammer
+                })
+                .count() as f64
+                / n;
+            SophisticationRow {
+                outlet: outlet.to_string(),
+                config_hidden: hidden,
+                tor,
+                non_destructive: gentle,
+                score: (hidden + tor + gentle) / 3.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_monitor::dataset::{AccountRecord, ParsedAccess};
+
+    fn access(account: u32, cookie: u64, tor: bool, browser: &str, sent: u32) -> ParsedAccess {
+        ParsedAccess {
+            account,
+            cookie,
+            first_seen_secs: 0,
+            last_seen_secs: 1,
+            ip: "1.1.1.1".into(),
+            country: None,
+            city: "X".into(),
+            lat: 0.0,
+            lon: 0.0,
+            browser: browser.into(),
+            os: "Windows".into(),
+            via_tor: tor,
+            opened: 0,
+            sent,
+            drafts: 0,
+            starred: 0,
+            hijacker: false,
+            has_location_row: true,
+        }
+    }
+
+    #[test]
+    fn malware_scores_highest() {
+        let ds = Dataset {
+            accesses: vec![
+                access(0, 1, true, "Unknown", 0),
+                access(0, 2, true, "Unknown", 0),
+                access(1, 3, false, "Chrome", 100),
+                access(1, 4, false, "Firefox", 0),
+            ],
+            accounts: vec![
+                AccountRecord {
+                    account: 0,
+                    outlet: "malware".into(),
+                    advertised_region: None,
+                    leaked_at_secs: 0,
+                    hijack_detected_secs: None,
+                    block_detected_secs: None,
+                },
+                AccountRecord {
+                    account: 1,
+                    outlet: "forum".into(),
+                    advertised_region: None,
+                    leaked_at_secs: 0,
+                    hijack_detected_secs: None,
+                    block_detected_secs: None,
+                },
+            ],
+            opened_texts: vec![],
+        };
+        let rows = sophistication(&ds);
+        let malware = rows.iter().find(|r| r.outlet == "malware").unwrap();
+        let forum = rows.iter().find(|r| r.outlet == "forum").unwrap();
+        assert_eq!(malware.config_hidden, 1.0);
+        assert_eq!(malware.tor, 1.0);
+        assert_eq!(malware.non_destructive, 1.0);
+        assert!(malware.score > forum.score);
+        assert_eq!(forum.non_destructive, 0.5);
+    }
+
+    #[test]
+    fn empty_outlet_scores_zero_without_panicking() {
+        let ds = Dataset::default();
+        let rows = sophistication(&ds);
+        assert_eq!(rows.len(), 3);
+        assert!(rows.iter().all(|r| r.score == 0.0));
+    }
+}

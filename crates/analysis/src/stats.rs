@@ -1,0 +1,134 @@
+//! Empirical distribution utilities.
+
+/// An empirical cumulative distribution function.
+#[derive(Clone, Debug)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build from samples (NaNs are dropped).
+    pub fn new(mut samples: Vec<f64>) -> Ecdf {
+        samples.retain(|x| !x.is_nan());
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after filter"));
+        Ecdf { sorted: samples }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether there are no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// F(x): fraction of samples ≤ x. Zero for an empty ECDF.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// The q-quantile (0 ≤ q ≤ 1), by the nearest-rank method.
+    /// `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.sorted.is_empty() {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((q * self.sorted.len() as f64).ceil() as usize).clamp(1, self.sorted.len());
+        Some(self.sorted[idx - 1])
+    }
+
+    /// The median. `None` when empty.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// The underlying sorted samples.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Sampled (x, F(x)) points for plotting: one per sample, deduped on x.
+    pub fn points(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len();
+        let mut out: Vec<(f64, f64)> = Vec::with_capacity(n);
+        for (i, &x) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n as f64;
+            match out.last_mut() {
+                Some(last) if last.0 == x => last.1 = y,
+                _ => out.push((x, y)),
+            }
+        }
+        out
+    }
+}
+
+/// Median of a slice (convenience over [`Ecdf`]).
+pub fn median(samples: &[f64]) -> Option<f64> {
+    Ecdf::new(samples.to_vec()).median()
+}
+
+/// Arithmetic mean. `None` when empty.
+pub fn mean(samples: &[f64]) -> Option<f64> {
+    if samples.is_empty() {
+        None
+    } else {
+        Some(samples.iter().sum::<f64>() / samples.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_steps_correctly() {
+        let e = Ecdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.5), 0.5);
+        assert_eq!(e.eval(100.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_nearest_rank() {
+        let e = Ecdf::new(vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+        assert_eq!(e.median(), Some(30.0));
+        assert_eq!(e.quantile(0.0), Some(10.0));
+        assert_eq!(e.quantile(1.0), Some(50.0));
+        assert_eq!(e.quantile(0.8), Some(40.0));
+    }
+
+    #[test]
+    fn empty_and_nan_handling() {
+        let e = Ecdf::new(vec![f64::NAN, f64::NAN]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.median(), None);
+        assert_eq!(median(&[]), None);
+        assert_eq!(mean(&[]), None);
+    }
+
+    #[test]
+    fn unsorted_input_is_sorted() {
+        let e = Ecdf::new(vec![3.0, 1.0, 2.0]);
+        assert_eq!(e.samples(), &[1.0, 2.0, 3.0]);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(mean(&[3.0, 1.0, 2.0]), Some(2.0));
+    }
+
+    #[test]
+    fn points_dedupe_ties() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        let pts = e.points();
+        assert_eq!(pts.len(), 2);
+        assert!((pts[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(pts[1], (2.0, 1.0));
+    }
+}

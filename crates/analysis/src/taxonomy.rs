@@ -1,0 +1,131 @@
+//! The §4.2 access taxonomy, inferred from observable actions.
+//!
+//! The classes are *not exclusive*: an access that sent spam and changed
+//! the password is both a spammer and a hijacker. The paper also observes
+//! that no access behaved exclusively as a spammer — our classifier
+//! reports multi-labels so that invariant can be checked on the data.
+
+use pwnd_monitor::dataset::ParsedAccess;
+
+/// Multi-label classification of one access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AccessClasses {
+    /// Logged in; may have glanced around; nothing consequential.
+    pub curious: bool,
+    /// Opened or starred mail — searched the account for value.
+    pub gold_digger: bool,
+    /// Sent email.
+    pub spammer: bool,
+    /// Changed the account password.
+    pub hijacker: bool,
+}
+
+impl AccessClasses {
+    /// The class labels in figure order.
+    pub const LABELS: [&'static str; 4] = ["Curious", "Gold Digger", "Hijacker", "Spammer"];
+
+    /// Class membership as a figure-ordered array
+    /// `[curious, gold_digger, hijacker, spammer]`.
+    pub fn as_array(self) -> [bool; 4] {
+        [self.curious, self.gold_digger, self.hijacker, self.spammer]
+    }
+
+    /// The single *dominant* class, most-destructive-first: spammer >
+    /// hijacker > gold digger > curious. Used where the analysis needs a
+    /// partition (e.g. the duration CDFs of Figure 2).
+    pub fn dominant(self) -> &'static str {
+        if self.spammer {
+            "Spammer"
+        } else if self.hijacker {
+            "Hijacker"
+        } else if self.gold_digger {
+            "Gold Digger"
+        } else {
+            "Curious"
+        }
+    }
+}
+
+/// Classify one access from its observable record.
+pub fn classify(a: &ParsedAccess) -> AccessClasses {
+    let gold_digger = a.opened > 0 || a.starred > 0;
+    let spammer = a.sent > 0;
+    let hijacker = a.hijacker;
+    AccessClasses {
+        curious: !gold_digger && !spammer && !hijacker,
+        gold_digger,
+        spammer,
+        hijacker,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn access(opened: u32, sent: u32, starred: u32, hijacker: bool) -> ParsedAccess {
+        ParsedAccess {
+            account: 0,
+            cookie: 1,
+            first_seen_secs: 0,
+            last_seen_secs: 10,
+            ip: "1.2.3.4".into(),
+            country: None,
+            city: "X".into(),
+            lat: 0.0,
+            lon: 0.0,
+            browser: "Chrome".into(),
+            os: "Windows".into(),
+            via_tor: false,
+            opened,
+            sent,
+            drafts: 0,
+            starred,
+            hijacker,
+            has_location_row: true,
+        }
+    }
+
+    #[test]
+    fn pure_login_is_curious() {
+        let c = classify(&access(0, 0, 0, false));
+        assert!(c.curious);
+        assert_eq!(c.dominant(), "Curious");
+    }
+
+    #[test]
+    fn opening_mail_is_gold_digging() {
+        let c = classify(&access(3, 0, 0, false));
+        assert!(c.gold_digger && !c.curious);
+        assert_eq!(c.dominant(), "Gold Digger");
+    }
+
+    #[test]
+    fn starring_is_gold_digging() {
+        let c = classify(&access(0, 0, 1, false));
+        assert!(c.gold_digger);
+    }
+
+    #[test]
+    fn multi_label_spammer_hijacker() {
+        let c = classify(&access(1, 50, 0, true));
+        assert!(c.spammer && c.hijacker && c.gold_digger && !c.curious);
+        assert_eq!(c.dominant(), "Spammer");
+    }
+
+    #[test]
+    fn hijack_dominates_gold_digging() {
+        let c = classify(&access(2, 0, 0, true));
+        assert_eq!(c.dominant(), "Hijacker");
+    }
+
+    #[test]
+    fn array_order_matches_labels() {
+        let c = classify(&access(0, 1, 0, true));
+        let arr = c.as_array();
+        assert!(!arr[0]); // curious
+        assert!(!arr[1]); // gold digger
+        assert!(arr[2]); // hijacker
+        assert!(arr[3]); // spammer
+    }
+}

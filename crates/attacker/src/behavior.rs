@@ -1,0 +1,183 @@
+//! Taxonomy behaviour classes and their session-shape parameters.
+//!
+//! §4.2 defines four classes by what an access *does*; §4.3.1 (Figure 2)
+//! characterizes how long each class's accesses last: almost everything
+//! is minutes, spammers burst-and-vanish, and curious / gold-digger /
+//! hijacker accesses have a ~10% tail that keeps returning for days.
+
+use pwnd_sim::dist::LogNormal;
+use pwnd_sim::{Rng, SimDuration};
+
+/// The four §4.2 attacker classes. Not mutually exclusive in the data —
+/// a spammer access may also hijack — but each access is *driven* by one
+/// dominant intent, which is what this enum captures.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum TaxonomyClass {
+    /// Logs in to check the credentials work, does nothing else.
+    Curious,
+    /// Searches the account for valuable information.
+    GoldDigger,
+    /// Uses the account to send email.
+    Spammer,
+    /// Locks the owner out by changing the password.
+    Hijacker,
+}
+
+impl TaxonomyClass {
+    /// All classes.
+    pub const ALL: [TaxonomyClass; 4] = [
+        TaxonomyClass::Curious,
+        TaxonomyClass::GoldDigger,
+        TaxonomyClass::Spammer,
+        TaxonomyClass::Hijacker,
+    ];
+
+    /// Label used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            TaxonomyClass::Curious => "Curious",
+            TaxonomyClass::GoldDigger => "Gold Digger",
+            TaxonomyClass::Spammer => "Spammer",
+            TaxonomyClass::Hijacker => "Hijacker",
+        }
+    }
+}
+
+/// Session-shape parameters for one class.
+#[derive(Clone, Debug)]
+pub struct SessionShape {
+    /// Distribution of a single visit's length (seconds).
+    pub visit_length: LogNormal,
+    /// Probability the access returns for another visit after each visit
+    /// (geometric number of return visits). Figure 2: curious accesses
+    /// keep coming back to check for new information; spammers never do.
+    pub return_probability: f64,
+    /// Distribution of the gap between visits (seconds). Returns happen
+    /// over days.
+    pub return_gap: LogNormal,
+}
+
+impl SessionShape {
+    /// Shape parameters for `class`.
+    pub fn for_class(class: TaxonomyClass) -> SessionShape {
+        match class {
+            // Short check; the paper's curious CDF has a long revisit tail
+            // ("repeated over many days ... to find out if there is new
+            // information"), conflicting with [13] — our return
+            // probability is set accordingly high.
+            TaxonomyClass::Curious => SessionShape {
+                visit_length: LogNormal::with_median(150.0, 0.8),
+                return_probability: 0.5,
+                return_gap: LogNormal::with_median(2.0 * 86_400.0, 0.9),
+            },
+            // Longer rummage; ~10% multi-day tail.
+            TaxonomyClass::GoldDigger => SessionShape {
+                visit_length: LogNormal::with_median(600.0, 1.0),
+                return_probability: 0.35,
+                return_gap: LogNormal::with_median(2.5 * 86_400.0, 0.9),
+            },
+            // "Spammers tend to use accounts aggressively for a short time
+            // and then disconnect."
+            TaxonomyClass::Spammer => SessionShape {
+                visit_length: LogNormal::with_median(3_600.0, 0.5),
+                return_probability: 0.05,
+                return_gap: LogNormal::with_median(86_400.0, 0.5),
+            },
+            // Quick lockout, occasionally back to use the spoils.
+            TaxonomyClass::Hijacker => SessionShape {
+                visit_length: LogNormal::with_median(300.0, 0.9),
+                return_probability: 0.30,
+                return_gap: LogNormal::with_median(3.0 * 86_400.0, 0.9),
+            },
+        }
+    }
+
+    /// Sample one visit length.
+    pub fn sample_visit_length(&self, rng: &mut Rng) -> SimDuration {
+        SimDuration::from_secs_f64(self.visit_length.sample(rng).clamp(20.0, 6.0 * 3600.0))
+    }
+
+    /// Sample the number of *return* visits (0 = single visit).
+    pub fn sample_return_count(&self, rng: &mut Rng) -> usize {
+        let mut n = 0;
+        while n < 12 && rng.chance(self.return_probability) {
+            n += 1;
+        }
+        n
+    }
+
+    /// Sample the gap before a return visit.
+    pub fn sample_return_gap(&self, rng: &mut Rng) -> SimDuration {
+        SimDuration::from_secs_f64(
+            self.return_gap
+                .sample(rng)
+                .clamp(4.0 * 3600.0, 30.0 * 86_400.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spammers_rarely_return_curious_often_do() {
+        let mut rng = Rng::seed_from(1);
+        let spam = SessionShape::for_class(TaxonomyClass::Spammer);
+        let curious = SessionShape::for_class(TaxonomyClass::Curious);
+        let count = |s: &SessionShape, rng: &mut Rng| -> usize {
+            (0..2_000).map(|_| s.sample_return_count(rng)).sum()
+        };
+        let spam_returns = count(&spam, &mut rng);
+        let curious_returns = count(&curious, &mut rng);
+        assert!(
+            curious_returns > 5 * spam_returns,
+            "curious {curious_returns} spam {spam_returns}"
+        );
+    }
+
+    #[test]
+    fn gold_digger_visits_longer_than_curious() {
+        let mut rng = Rng::seed_from(2);
+        let gd = SessionShape::for_class(TaxonomyClass::GoldDigger);
+        let cu = SessionShape::for_class(TaxonomyClass::Curious);
+        let mean = |s: &SessionShape, rng: &mut Rng| -> f64 {
+            (0..2_000)
+                .map(|_| s.sample_visit_length(rng).as_secs() as f64)
+                .sum::<f64>()
+                / 2_000.0
+        };
+        assert!(mean(&gd, &mut rng) > mean(&cu, &mut rng));
+    }
+
+    #[test]
+    fn visit_lengths_mostly_minutes() {
+        // Figure 2: "The vast majority of unique accesses lasts a few
+        // minutes."
+        let mut rng = Rng::seed_from(3);
+        for class in [TaxonomyClass::Curious, TaxonomyClass::Hijacker] {
+            let s = SessionShape::for_class(class);
+            let under_30min = (0..2_000)
+                .filter(|_| s.sample_visit_length(&mut rng) < SimDuration::minutes(30))
+                .count();
+            assert!(under_30min > 1_500, "{class:?}: {under_30min}/2000");
+        }
+    }
+
+    #[test]
+    fn return_gaps_are_days() {
+        let mut rng = Rng::seed_from(4);
+        let s = SessionShape::for_class(TaxonomyClass::Curious);
+        for _ in 0..200 {
+            let gap = s.sample_return_gap(&mut rng);
+            assert!(gap >= SimDuration::hours(4));
+            assert!(gap <= SimDuration::days(30));
+        }
+    }
+
+    #[test]
+    fn labels_match_figures() {
+        assert_eq!(TaxonomyClass::GoldDigger.label(), "Gold Digger");
+        assert_eq!(TaxonomyClass::ALL.len(), 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! The §4.4 case studies, as scripted actors.
+//!
+//! Three concrete incidents from the paper are reproduced exactly:
+//!
+//! 1. **The Ashley Madison blackmailer** — one attacker used three honey
+//!    accounts to send ransom demands (payable in bitcoin, with payment
+//!    tutorials) to scandal victims, and abandoned many more drafts.
+//!    Those drafts are what later injected the bitcoin vocabulary into
+//!    the opened-email corpus of Table 2.
+//! 2. **The carding-forum registrar** — an attacker used a honey account
+//!    as the registration address on a carding forum; the confirmation
+//!    email arrived in the honey inbox.
+//! 3. **The quota-notice openers** — attackers opened the platform's
+//!    "using too much computer time" notices (this one emerges naturally
+//!    from gold diggers opening unread mail; no scripted actor needed).
+
+use crate::behavior::TaxonomyClass;
+use crate::identity::{AttackerIdentity, OriginPolicy};
+use crate::plan::{AccessPlan, Action, VisitPlan};
+use pwnd_net::geo::GeoDb;
+use pwnd_net::useragent::{Browser, ClientConfig, Os};
+use pwnd_sim::{Rng, SimDuration, SimTime};
+
+/// Number of ransom drafts the blackmailer abandons per account.
+pub const BLACKMAIL_DRAFTS_PER_ACCOUNT: usize = 4;
+
+/// Number of ransom emails actually sent per account (before the abuse
+/// detector reacts to the extortion content).
+pub const BLACKMAIL_SENDS_PER_ACCOUNT: usize = 4;
+
+fn ransom_body(victim: &str, wallet: u64, rng: &mut Rng) -> String {
+    let amount = rng.range_u64(2, 6);
+    format!(
+        "Hello {victim},\n\
+         I have the complete results of the Ashley Madison leak and your \
+         name is listed in it. Unless you make a payment of {amount} \
+         bitcoin to the bitcoin wallet listed below, I will send the \
+         evidence to your family and your employer. Think what this would \
+         do to your family.\n\
+         bitcoin wallet: 1AM{wallet:012x}\n\
+         How to pay with bitcoin: create an account on localbitcoins, \
+         find a bitcoin seller with good results, buy bitcoins, and \
+         transfer the bitcoins to the bitcoin wallet listed below. \
+         localbitcoins is the easiest place for a first bitcoin payment. \
+         You have 72 hours. Think of your family.\n"
+    )
+}
+
+/// Build the blackmailer's access plans over `accounts` (the paper used
+/// three honey accounts). One identity — one person — acting across all
+/// of them, starting at `start`.
+pub fn blackmailer_plans(
+    accounts: &[u32],
+    start: SimTime,
+    geo: &GeoDb,
+    rng: &mut Rng,
+) -> Vec<AccessPlan> {
+    let home = geo.sample(rng);
+    let identity = AttackerIdentity {
+        home_city: home,
+        origin: OriginPolicy::Tor,
+        client: ClientConfig::stealth(Browser::Firefox, Os::Windows),
+        malleable: false,
+    };
+    accounts
+        .iter()
+        .enumerate()
+        .map(|(i, &account)| {
+            let mut actions = Vec::new();
+            for d in 0..BLACKMAIL_DRAFTS_PER_ACCOUNT {
+                let victim = format!("victim{}{}@amleak.example", account, d);
+                let body = ransom_body(&victim, rng.next_u64(), rng);
+                actions.push(Action::CreateDraft {
+                    to: vec![victim],
+                    subject: "I know everything - payment required".into(),
+                    body,
+                });
+            }
+            for s in 0..BLACKMAIL_SENDS_PER_ACCOUNT {
+                let victim = format!("target{}{}@amleak.example", account, s);
+                let body = ransom_body(&victim, rng.next_u64(), rng);
+                actions.push(Action::SendEmail {
+                    to: vec![victim],
+                    subject: "Your Ashley Madison account - read now".into(),
+                    body,
+                });
+            }
+            AccessPlan {
+                account,
+                identity: identity.clone(),
+                class: TaxonomyClass::Spammer,
+                visits: vec![
+                    VisitPlan {
+                        start: start + SimDuration::hours(6 * i as u64),
+                        length: SimDuration::hours(1),
+                        actions,
+                    },
+                    // He returns days later to review the abandoned
+                    // drafts before giving up on the account — and other
+                    // criminals open them on later visits too, which is
+                    // how the bitcoin vocabulary entered the paper's
+                    // opened-email corpus.
+                    VisitPlan {
+                        start: start + SimDuration::days(4) + SimDuration::hours(6 * i as u64),
+                        length: SimDuration::minutes(20),
+                        actions: vec![Action::OpenDrafts { max: 4 }],
+                    },
+                ],
+            }
+        })
+        .collect()
+}
+
+/// Build the carding-forum registrar's plan on one account.
+pub fn forum_registrar_plan(account: u32, start: SimTime, geo: &GeoDb, rng: &mut Rng) -> AccessPlan {
+    let home = geo.sample(rng);
+    AccessPlan {
+        account,
+        identity: AttackerIdentity {
+            home_city: home,
+            origin: OriginPolicy::City(home),
+            client: ClientConfig::plain(Browser::Chrome, Os::Windows),
+            malleable: false,
+        },
+        class: TaxonomyClass::GoldDigger,
+        visits: vec![VisitPlan {
+            start,
+            length: SimDuration::minutes(30),
+            actions: vec![
+                Action::RegisterExternal {
+                    service: "verified-carder.example".into(),
+                },
+                Action::OpenUnread { max: 1 },
+            ],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blackmailer_covers_three_accounts_with_one_identity() {
+        let mut rng = Rng::seed_from(1);
+        let geo = GeoDb::new();
+        let plans = blackmailer_plans(&[3, 7, 9], SimTime::from_secs(100), &geo, &mut rng);
+        assert_eq!(plans.len(), 3);
+        for p in &plans {
+            assert_eq!(p.identity.origin, OriginPolicy::Tor);
+            assert!(p.identity.client.hide_user_agent);
+        }
+        let accounts: Vec<u32> = plans.iter().map(|p| p.account).collect();
+        assert_eq!(accounts, vec![3, 7, 9]);
+    }
+
+    #[test]
+    fn ransom_drafts_carry_table2_vocabulary() {
+        let mut rng = Rng::seed_from(2);
+        let geo = GeoDb::new();
+        let plans = blackmailer_plans(&[0], SimTime::ZERO, &geo, &mut rng);
+        let text: String = plans[0].visits[0]
+            .actions
+            .iter()
+            .map(|a| match a {
+                Action::CreateDraft { body, .. } | Action::SendEmail { body, .. } => body.clone(),
+                _ => String::new(),
+            })
+            .collect();
+        for term in ["bitcoin", "bitcoins", "localbitcoins", "family", "seller", "payment", "below", "listed", "results", "wallet"] {
+            assert!(text.contains(term), "missing {term}");
+        }
+    }
+
+    #[test]
+    fn blackmailer_abandons_drafts_and_sends() {
+        let mut rng = Rng::seed_from(3);
+        let geo = GeoDb::new();
+        let plans = blackmailer_plans(&[1, 2, 3], SimTime::ZERO, &geo, &mut rng);
+        let drafts: usize = plans
+            .iter()
+            .flat_map(|p| &p.visits)
+            .flat_map(|v| &v.actions)
+            .filter(|a| matches!(a, Action::CreateDraft { .. }))
+            .count();
+        // 3 accounts × 4 drafts: the bulk of the paper's 12 unique drafts.
+        assert_eq!(drafts, 12);
+    }
+
+    #[test]
+    fn registrar_registers_then_reads_confirmation() {
+        let mut rng = Rng::seed_from(4);
+        let geo = GeoDb::new();
+        let p = forum_registrar_plan(5, SimTime::from_secs(50), &geo, &mut rng);
+        let acts = &p.visits[0].actions;
+        assert!(matches!(acts[0], Action::RegisterExternal { .. }));
+        assert!(matches!(acts[1], Action::OpenUnread { .. }));
+    }
+}

@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # pwnd-attacker — the criminal population
+//!
+//! The dependent variable of the study is *attacker behaviour*: what the
+//! people who pick up leaked credentials actually do. This crate models
+//! that population as stochastic actors whose parameters are calibrated,
+//! one named constant at a time, against the paper's measurements
+//! (see [`profiles`] — every constant cites the statistic it targets).
+//!
+//! An attacker is a (device, origin-policy, behaviour) triple:
+//!
+//! * the **device** is a browser/OS pair, possibly configured to present
+//!   an empty user agent (Figure 5's "unknown" browsers);
+//! * the **origin policy** decides where logins come from — the
+//!   attacker's home city, a Tor exit, or (for leaks that advertise the
+//!   victim's location) a proxy near the advertised midpoint: the
+//!   *location malleability* of §4.3.4;
+//! * the **behaviour** is one of the four taxonomy classes (§4.2):
+//!   curious, gold digger, spammer, hijacker — expressed as a plan of
+//!   timed visits and actions that the experiment driver executes against
+//!   the webmail service.
+//!
+//! The crate emits *plans*, not side effects: [`plan::AccessPlan`] values
+//! that `pwnd-core` interprets. That keeps the population model
+//! independently testable.
+
+pub mod arrivals;
+pub mod behavior;
+pub mod case_studies;
+pub mod identity;
+pub mod plan;
+pub mod profiles;
+pub mod search_model;
+
+pub use behavior::TaxonomyClass;
+pub use identity::{AttackerIdentity, OriginPolicy};
+pub use plan::{AccessPlan, Action, VisitPlan};
+pub use profiles::OutletProfile;

@@ -1,0 +1,252 @@
+//! Per-outlet calibration constants.
+//!
+//! Everything tunable about the attacker population lives here, and every
+//! constant names the paper statistic it targets. Benches print
+//! paper-vs-measured tables; EXPERIMENTS.md records the comparison.
+
+use crate::behavior::TaxonomyClass;
+use pwnd_leak::plan::OutletKind;
+
+/// Device variety knobs for an outlet's population (Figure 5).
+#[derive(Clone, Copy, Debug)]
+pub struct DeviceMix {
+    /// Probability the attacker presents an empty user agent.
+    /// Targets Figure 5a: malware 100% unknown browsers, paste ≈50%
+    /// unknown, forums noticeably less.
+    pub hide_ua_probability: f64,
+    /// Probability the attacker is on a fixed Windows box rather than the
+    /// consumer mix. Targets Figure 5b: malware accesses were
+    /// Windows-heavy and homogeneous; paste/forum populations are motley
+    /// (including Android).
+    pub fixed_windows_probability: f64,
+}
+
+/// One outlet's population parameters.
+#[derive(Clone, Debug)]
+pub struct OutletProfile {
+    /// Which outlet this profile describes.
+    pub outlet: OutletKind,
+    /// Probability an access comes through Tor.
+    /// Targets §4.3.4: paste 28/144 ≈ 0.19, forums 48/125 ≈ 0.38,
+    /// malware 56/57 ≈ 0.98.
+    pub tor_probability: f64,
+    /// Device mix.
+    pub devices: DeviceMix,
+    /// Taxonomy weights for a fresh access, in
+    /// [curious, gold digger, spammer, hijacker] order.
+    /// Targets Figure 1: malware has no hijackers/spammers; paste has
+    /// ≈20% hijackers; forums have the largest (≈30%) gold-digger share.
+    /// Overall composition targets 224 curious / 82 gold / 36 hijacker
+    /// accesses and 8 spammer accounts out of 326.
+    pub taxonomy_weights: [f64; 4],
+    /// Probability that an attacker *with advertised victim location*
+    /// connects through a proxy near the advertised midpoint instead of
+    /// from home. Targets Figures 6a/6b + the Cramér–von Mises result:
+    /// significant for paste (p < 0.01), not significant for forums.
+    pub location_malleability: f64,
+    /// Radius (km) around the UK midpoint within which malleable
+    /// attackers pick their proxy. Wider than the US radius: the paper's
+    /// UK paste-with-location median circle is 1400 km (proxies all over
+    /// Europe), while the US one is 939 km.
+    pub malleable_radius_uk_km: f64,
+    /// Radius (km) around the US midpoint for malleable proxies.
+    pub malleable_radius_us_km: f64,
+    /// Probability the attacker's *home* is in the European cluster
+    /// rather than sampled worldwide. Targets the no-location medians of
+    /// Figure 6 (UK ≈ 1784 km — a Europe-heavy crowd — while the same
+    /// crowd sits ≈ 7900 km from Pontiac).
+    pub europe_home_probability: f64,
+    /// Probability that a session rummaging through the account stumbles
+    /// on something it shouldn't — passed to the script-discovery roll.
+    pub thoroughness: f64,
+    /// The weighted query pool gold diggers draw from. Defaults to the
+    /// financial pool; the §5 activist scenario swaps in
+    /// [`crate::search_model::ACTIVIST_QUERY_POOL`].
+    pub query_pool: &'static [(&'static str, f64)],
+}
+
+/// Europe cluster radius around London used for home sampling, km.
+pub const EUROPE_RADIUS_KM: f64 = 2_500.0;
+
+impl OutletProfile {
+    /// Paste-site population: fast, motley, 20% hijackers, evasive about
+    /// location when given one.
+    pub fn paste() -> OutletProfile {
+        OutletProfile {
+            outlet: OutletKind::Paste,
+            tor_probability: 0.19,
+            devices: DeviceMix {
+                hide_ua_probability: 0.50,
+                fixed_windows_probability: 0.10,
+            },
+            taxonomy_weights: [0.655, 0.16, 0.03, 0.155],
+            location_malleability: 0.75,
+            malleable_radius_uk_km: 1_700.0,
+            malleable_radius_us_km: 900.0,
+            europe_home_probability: 0.50,
+            thoroughness: 0.4,
+            query_pool: crate::search_model::QUERY_POOL,
+        }
+    }
+
+    /// Forum population: slower, keenest gold diggers, least careful.
+    pub fn forum() -> OutletProfile {
+        OutletProfile {
+            outlet: OutletKind::Forum,
+            tor_probability: 0.38,
+            devices: DeviceMix {
+                hide_ua_probability: 0.25,
+                fixed_windows_probability: 0.15,
+            },
+            taxonomy_weights: [0.64, 0.26, 0.035, 0.065],
+            location_malleability: 0.06,
+            malleable_radius_uk_km: 2_200.0,
+            malleable_radius_us_km: 1_500.0,
+            europe_home_probability: 0.60,
+            thoroughness: 0.6,
+            query_pool: crate::search_model::QUERY_POOL,
+        }
+    }
+
+    /// Malware/botmaster population: nearly always Tor, fully
+    /// UA-cloaked, Windows-homogeneous, never destructive. The botmaster
+    /// checks credentials ("curious"); buyers after a market sale assess
+    /// value ("gold digger") — the buyer profile is selected by the
+    /// driver via [`OutletProfile::malware_buyer`].
+    pub fn malware() -> OutletProfile {
+        OutletProfile {
+            outlet: OutletKind::Malware,
+            tor_probability: 0.98,
+            devices: DeviceMix {
+                hide_ua_probability: 1.0,
+                fixed_windows_probability: 0.75,
+            },
+            taxonomy_weights: [1.0, 0.0, 0.0, 0.0],
+            location_malleability: 0.0,
+            malleable_radius_uk_km: 0.0,
+            malleable_radius_us_km: 0.0,
+            europe_home_probability: 0.70,
+            thoroughness: 0.2,
+            query_pool: crate::search_model::QUERY_POOL,
+        }
+    }
+
+    /// The post-sale buyer variant of the malware profile: all accesses
+    /// are gold-digger assessments (Figure 4: the resale bursts were of
+    /// gold-digger type), still stealthy.
+    pub fn malware_buyer() -> OutletProfile {
+        OutletProfile {
+            taxonomy_weights: [0.3, 0.7, 0.0, 0.0],
+            ..OutletProfile::malware()
+        }
+    }
+
+    /// A targeted variant of this profile for the activist scenario
+    /// (§5 future work): motivated attackers dig harder and hunt for the
+    /// activist-sensitive vocabulary.
+    pub fn targeting_activists(mut self) -> OutletProfile {
+        self.query_pool = crate::search_model::ACTIVIST_QUERY_POOL;
+        // Targeted attackers are disproportionately gold diggers.
+        let hijack = self.taxonomy_weights[3];
+        self.taxonomy_weights = [
+            (self.taxonomy_weights[0] - 0.15).max(0.1),
+            self.taxonomy_weights[1] + 0.15,
+            self.taxonomy_weights[2],
+            hijack,
+        ];
+        self.thoroughness = (self.thoroughness + 0.2).min(1.0);
+        self
+    }
+
+    /// The profile for an outlet kind (initial custodian behaviour).
+    pub fn for_outlet(outlet: OutletKind) -> OutletProfile {
+        match outlet {
+            OutletKind::Paste => OutletProfile::paste(),
+            OutletKind::Forum => OutletProfile::forum(),
+            OutletKind::Malware => OutletProfile::malware(),
+        }
+    }
+
+    /// Draw a taxonomy class from this profile's weights.
+    pub fn sample_taxonomy(&self, rng: &mut pwnd_sim::Rng) -> TaxonomyClass {
+        match rng.choose_weighted(&self.taxonomy_weights) {
+            0 => TaxonomyClass::Curious,
+            1 => TaxonomyClass::GoldDigger,
+            2 => TaxonomyClass::Spammer,
+            _ => TaxonomyClass::Hijacker,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_sim::Rng;
+
+    #[test]
+    fn tor_probabilities_match_paper_ratios() {
+        // paste 28/144, forum 48/125, malware 56/57.
+        assert!((OutletProfile::paste().tor_probability - 28.0 / 144.0).abs() < 0.02);
+        assert!((OutletProfile::forum().tor_probability - 48.0 / 125.0).abs() < 0.02);
+        assert!(OutletProfile::malware().tor_probability > 0.95);
+    }
+
+    #[test]
+    fn malware_population_never_destructive() {
+        let p = OutletProfile::malware();
+        assert_eq!(p.taxonomy_weights[2], 0.0, "no spammers");
+        assert_eq!(p.taxonomy_weights[3], 0.0, "no hijackers");
+        let b = OutletProfile::malware_buyer();
+        assert_eq!(b.taxonomy_weights[2], 0.0);
+        assert_eq!(b.taxonomy_weights[3], 0.0);
+        assert!(b.taxonomy_weights[1] > 0.5, "buyers are gold diggers");
+    }
+
+    #[test]
+    fn paste_has_most_hijackers_forums_most_gold_diggers() {
+        let paste = OutletProfile::paste();
+        let forum = OutletProfile::forum();
+        assert!(paste.taxonomy_weights[3] > forum.taxonomy_weights[3]);
+        assert!(forum.taxonomy_weights[1] > paste.taxonomy_weights[1]);
+    }
+
+    #[test]
+    fn malware_fully_cloaks_user_agents() {
+        assert_eq!(OutletProfile::malware().devices.hide_ua_probability, 1.0);
+        assert!(OutletProfile::paste().devices.hide_ua_probability < 1.0);
+    }
+
+    #[test]
+    fn paste_most_location_malleable() {
+        let paste = OutletProfile::paste();
+        let forum = OutletProfile::forum();
+        assert!(paste.location_malleability > 2.0 * forum.location_malleability);
+        assert_eq!(OutletProfile::malware().location_malleability, 0.0);
+    }
+
+    #[test]
+    fn taxonomy_sampling_follows_weights() {
+        let mut rng = Rng::seed_from(1);
+        let p = OutletProfile::paste();
+        let mut counts = [0usize; 4];
+        for _ in 0..10_000 {
+            match p.sample_taxonomy(&mut rng) {
+                TaxonomyClass::Curious => counts[0] += 1,
+                TaxonomyClass::GoldDigger => counts[1] += 1,
+                TaxonomyClass::Spammer => counts[2] += 1,
+                TaxonomyClass::Hijacker => counts[3] += 1,
+            }
+        }
+        assert!(counts[0] > counts[3]);
+        assert!(counts[3] > counts[2]);
+        let hijacker_frac = counts[3] as f64 / 10_000.0;
+        assert!((0.13..0.19).contains(&hijacker_frac), "{hijacker_frac}");
+    }
+
+    #[test]
+    fn for_outlet_dispatch() {
+        for kind in OutletKind::ALL {
+            assert_eq!(OutletProfile::for_outlet(kind).outlet, kind);
+        }
+    }
+}

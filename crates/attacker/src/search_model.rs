@@ -1,0 +1,109 @@
+//! What gold diggers search for.
+//!
+//! §4.3.5 infers (via TF-IDF) that attackers searched for financially
+//! sensitive terms: account information, payments, attachments with
+//! money-related names, and material for spearphishing. Our gold diggers
+//! draw queries from a weighted pool of exactly those terms — the
+//! downstream TF-IDF analysis must *recover* this list from opened-email
+//! text alone, which is the paper's methodological claim.
+
+use pwnd_sim::Rng;
+
+/// The query pool: (term, weight). Weights favour the headline Table 2
+/// terms. Terms match the corpus's sensitive vocabulary; "bitcoin" is
+/// *not* here — it only enters the data through the blackmailer's drafts.
+pub const QUERY_POOL: &[(&str, f64)] = &[
+    ("account", 3.0),
+    ("payment", 3.0),
+    ("seller", 1.5),
+    ("family", 1.5),
+    ("listed", 1.0),
+    ("below", 1.0),
+    ("results", 1.2),
+    ("banking", 1.8),
+    ("salary", 1.2),
+    ("invoice", 1.2),
+    ("password", 2.2),
+    ("statement", 1.0),
+];
+
+/// What a *targeted* attacker hunts for in an activist's mailbox
+/// (the §5 scenario extension): identities, funders, travel plans.
+pub const ACTIVIST_QUERY_POOL: &[(&str, f64)] = &[
+    ("sources", 3.0),
+    ("donors", 2.5),
+    ("contacts", 2.5),
+    ("passport", 2.0),
+    ("location", 2.0),
+    ("journalist", 1.5),
+    ("funding", 1.5),
+    ("identity", 1.2),
+    ("travel", 1.2),
+    ("safehouse", 1.0),
+];
+
+/// Sample `n` distinct search queries from the financial pool.
+pub fn sample_queries(n: usize, rng: &mut Rng) -> Vec<&'static str> {
+    sample_queries_from(QUERY_POOL, n, rng)
+}
+
+/// Sample `n` distinct queries from an arbitrary weighted pool.
+pub fn sample_queries_from(
+    pool: &'static [(&'static str, f64)],
+    n: usize,
+    rng: &mut Rng,
+) -> Vec<&'static str> {
+    assert!(n <= pool.len());
+    let weights: Vec<f64> = pool.iter().map(|&(_, w)| w).collect();
+    let mut picked = Vec::with_capacity(n);
+    let mut taken = vec![false; pool.len()];
+    while picked.len() < n {
+        let idx = rng.choose_weighted(&weights);
+        if !taken[idx] {
+            taken[idx] = true;
+            picked.push(pool[idx].0);
+        }
+    }
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queries_are_distinct_and_from_pool() {
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..100 {
+            let qs = sample_queries(3, &mut rng);
+            assert_eq!(qs.len(), 3);
+            let mut d = qs.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 3);
+            for q in qs {
+                assert!(QUERY_POOL.iter().any(|&(t, _)| t == q));
+            }
+        }
+    }
+
+    #[test]
+    fn high_weight_terms_dominate() {
+        let mut rng = Rng::seed_from(2);
+        let mut account = 0;
+        let mut statement = 0;
+        for _ in 0..5_000 {
+            match sample_queries(1, &mut rng)[0] {
+                "account" => account += 1,
+                "statement" => statement += 1,
+                _ => {}
+            }
+        }
+        assert!(account > statement * 2, "account {account} statement {statement}");
+    }
+
+    #[test]
+    fn no_bitcoin_in_query_pool() {
+        assert!(QUERY_POOL.iter().all(|&(t, _)| !t.contains("bitcoin")));
+    }
+}

@@ -1,0 +1,46 @@
+//! Ablation — decoy-sensitive-email seeding (§5 future work).
+//!
+//! The paper proposes seeding decoy bank statements and credentials to
+//! widen the observable search surface. Compares the two arms on the
+//! fraction of gold-digger opens that hit sensitive bait, and benches
+//! decoy generation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_bench::BENCH_SEED;
+use pwnd_core::{Experiment, ExperimentConfig};
+use pwnd_corpus::decoy::generate_decoys;
+use pwnd_corpus::persona::PersonaFactory;
+use pwnd_sim::Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Smaller config: this ablation runs two fresh worlds.
+    let plain = Experiment::new(ExperimentConfig::quick(BENCH_SEED)).run();
+    let mut cfg = ExperimentConfig::quick(BENCH_SEED);
+    cfg.seed_decoys = true;
+    let baited = Experiment::new(cfg).run();
+
+    let bait_hits = |ds: &pwnd_monitor::dataset::Dataset| {
+        ds.opened_texts
+            .iter()
+            .filter(|t| t.contains("Routing number") || t.contains("password: hx"))
+            .count()
+    };
+    println!("\n== Decoy-seeding ablation (§5 future work) ==");
+    println!("decoy opens without seeding: {}", bait_hits(&plain.dataset));
+    println!("decoy opens with seeding   : {}", bait_hits(&baited.dataset));
+    println!(
+        "opened-email volume: {} → {}",
+        plain.dataset.opened_texts.len(),
+        baited.dataset.opened_texts.len()
+    );
+
+    c.bench_function("ablation/generate_decoys", |b| {
+        let mut rng = Rng::seed_from(1);
+        let persona = PersonaFactory::new().generate(None, &mut rng);
+        b.iter(|| generate_decoys(black_box(&persona), 0, &mut rng))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! §4.3.4 — the two-sample Cramér–von Mises tests.
+//!
+//! Paper outcomes at the 0.01 threshold: paste UK p=0.0017 (reject),
+//! paste US p≈7e-7 (reject), forum UK p=0.273 (keep), forum US p=0.272
+//! (keep). Benches the statistic, the asymptotic p-value (Bessel series),
+//! and the permutation fallback.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::cvm::{cdf_cvm_inf, cramer_von_mises_2samp, permutation_p_value, statistic};
+use pwnd_analysis::figures::{cvm_tests, fig6};
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let conditions = fig6(&run.dataset);
+    let outcomes = cvm_tests(&conditions);
+
+    println!("\n== Cramér–von Mises (reject at p < 0.01) ==");
+    for t in &outcomes {
+        let paper = match t.label.as_str() {
+            "paste UK" => "paper 0.0017 reject",
+            "paste US" => "paper 7e-7 reject",
+            "forum UK" => "paper 0.273 keep",
+            _ => "paper 0.272 keep",
+        };
+        println!(
+            "{:<9} T={:>7.4} p={:<9.6} {:<7} | {paper}",
+            t.label,
+            t.statistic,
+            t.p_value,
+            if t.rejected { "REJECT" } else { "keep" }
+        );
+    }
+
+    // Real vectors from the run for the micro-benches.
+    let with_loc = &conditions
+        .iter()
+        .find(|c| c.outlet == "paste" && c.region == "US" && c.with_location)
+        .expect("condition present")
+        .distances_km;
+    let without = &conditions
+        .iter()
+        .find(|c| c.outlet == "paste" && c.region == "US" && !c.with_location)
+        .expect("condition present")
+        .distances_km;
+
+    c.bench_function("cvm/statistic", |b| {
+        b.iter(|| statistic(black_box(with_loc), black_box(without)))
+    });
+    c.bench_function("cvm/asymptotic_p", |b| {
+        b.iter(|| cramer_von_mises_2samp(black_box(with_loc), black_box(without)))
+    });
+    c.bench_function("cvm/limiting_cdf", |b| {
+        b.iter(|| cdf_cvm_inf(black_box(0.46136)))
+    });
+    c.bench_function("cvm/permutation_1000", |b| {
+        b.iter(|| permutation_p_value(black_box(with_loc), black_box(without), 1_000, 7))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Ablation — the §5 behavioural anomaly detectors.
+//!
+//! The paper proposes training detectors on owner search vocabulary and
+//! benign connection durations. Evaluates both against the simulated
+//! criminal population (with provider-side query logs as ground truth)
+//! and benches the scoring hot paths.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::defense::{
+    evaluate_search_detector, RangeAnomalyDetector, SearchAnomalyDetector,
+};
+use pwnd_bench::{paper_run, BENCH_SEED};
+use pwnd_sim::Rng;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+
+    // Owner search-history model: everyday workflow vocabulary.
+    let workflow = [
+        "meeting", "report", "schedule", "agreement", "contract", "review", "forecast",
+        "pipeline", "delivery", "project", "quarter",
+    ];
+    let mut rng = Rng::seed_from(7);
+    let mut detector = SearchAnomalyDetector::new();
+    detector.train((0..300).map(|_| *rng.choose(&workflow)));
+    let benign: Vec<String> = (0..200).map(|_| (*rng.choose(&workflow)).to_string()).collect();
+
+    let report = evaluate_search_detector(
+        &detector,
+        &run.ground_truth.searched_queries,
+        &benign,
+        0.5,
+    );
+    println!("\n== §5 search-vocabulary detector ==");
+    println!(
+        "attacker queries {} | TPR {:.2} | FPR {:.2}",
+        run.ground_truth.searched_queries.len(),
+        report.tpr(),
+        report.fpr()
+    );
+
+    let benign_durations: Vec<f64> = (0..500).map(|_| rng.range_f64(0.5, 20.0)).collect();
+    let duration = RangeAnomalyDetector::train_upper(&benign_durations, 0.99);
+    let flagged = run
+        .dataset
+        .accesses
+        .iter()
+        .filter(|a| duration.is_anomalous(a.duration_secs() as f64 / 60.0))
+        .count();
+    println!(
+        "== §5 duration detector == flagged {flagged}/{} accesses (band ≤ {:.1}m)",
+        run.dataset.accesses.len(),
+        duration.band().1
+    );
+
+    c.bench_function("defense/search_score", |b| {
+        b.iter(|| detector.score(black_box("payment account banking")))
+    });
+    c.bench_function("defense/evaluate_full_query_log", |b| {
+        b.iter(|| {
+            evaluate_search_detector(
+                black_box(&detector),
+                black_box(&run.ground_truth.searched_queries),
+                black_box(&benign),
+                0.5,
+            )
+        })
+    });
+    c.bench_function("defense/train_duration_detector", |b| {
+        b.iter(|| RangeAnomalyDetector::train_upper(black_box(&benign_durations), 0.99))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! End-to-end throughput: how fast the testbed replays the 7-month study.
+//!
+//! The real experiment took 236 days of wall-clock time; the simulation
+//! replays it in well under a second, which is what makes seed sweeps and
+//! ablations practical.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_core::{Experiment, ExperimentConfig};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+
+    group.bench_function("quick_config_120_days", |b| {
+        b.iter(|| Experiment::new(black_box(ExperimentConfig::quick(1))).run())
+    });
+    group.bench_function("paper_config_236_days", |b| {
+        b.iter(|| Experiment::new(black_box(ExperimentConfig::paper(1))).run())
+    });
+    group.bench_function("paper_run_plus_full_analysis", |b| {
+        b.iter(|| {
+            let out = Experiment::new(black_box(ExperimentConfig::paper(2))).run();
+            out.analysis().render().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Figure 1 — distribution of access types per leak outlet.
+//!
+//! Paper shape: most accesses curious everywhere; malware has *no*
+//! hijackers or spammers; paste has the largest hijacker share (~20%);
+//! forums the largest gold-digger share (~30%).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::figures::fig1;
+use pwnd_analysis::taxonomy::classify;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let f = fig1(&run.dataset);
+
+    println!("\n== Figure 1: access-type fractions per outlet ==");
+    println!(
+        "{:<10} {:>8} {:>12} {:>9} {:>8}  n",
+        "outlet", "curious", "gold digger", "hijacker", "spammer"
+    );
+    for (outlet, fr, n) in &f.rows {
+        println!(
+            "{outlet:<10} {:>8.2} {:>12.2} {:>9.2} {:>8.2}  {n}",
+            fr[0], fr[1], fr[2], fr[3]
+        );
+    }
+    println!("paper: malware hijacker=0, paste hijacker≈0.20, forum gold≈0.30");
+
+    c.bench_function("fig1/build", |b| b.iter(|| fig1(black_box(&run.dataset))));
+    c.bench_function("fig1/classify_single_access", |b| {
+        let access = &run.dataset.accesses[0];
+        b.iter(|| classify(black_box(access)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Figure 2 — CDF of unique-access durations per taxonomy class.
+//!
+//! Paper shape: the vast majority of accesses last a few minutes;
+//! spammers burst and vanish; curious / gold-digger / hijacker accesses
+//! carry a multi-day revisit tail.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::figures::fig2;
+use pwnd_analysis::stats::Ecdf;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let f = fig2(&run.dataset);
+
+    println!("\n== Figure 2: duration CDFs (minutes) ==");
+    for (label, e) in &f.series {
+        if e.is_empty() {
+            continue;
+        }
+        println!(
+            "{label:<12} n={:<4} F(10m)={:.2} F(60m)={:.2} F(1d)={:.2} p50={:.1}m",
+            e.len(),
+            e.eval(10.0),
+            e.eval(60.0),
+            e.eval(24.0 * 60.0),
+            e.median().unwrap_or(0.0)
+        );
+    }
+    println!("paper: most mass below minutes; ~10% multi-day tail for non-spammers");
+
+    c.bench_function("fig2/build", |b| b.iter(|| fig2(black_box(&run.dataset))));
+    c.bench_function("fig2/ecdf_construction_10k", |b| {
+        let samples: Vec<f64> = (0..10_000).map(|i| (i as f64 * 7.3) % 5000.0).collect();
+        b.iter(|| Ecdf::new(black_box(samples.clone())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 4 — per-account access timeline and the malware resale bursts.
+//!
+//! Paper: malware-leaked accounts show sharp bursts of fresh accesses
+//! ~30 and ~100 days after the leak — the botmaster selling batches on
+//! the underground market — and the Russian-paste subset stays silent
+//! for over two months.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::figures::fig4;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let points = fig4(&run.dataset);
+
+    let malware: Vec<f64> = points
+        .iter()
+        .filter(|p| p.outlet == "malware")
+        .map(|p| p.day)
+        .collect();
+    let band = |lo: f64, hi: f64| malware.iter().filter(|&&d| (lo..hi).contains(&d)).count();
+    println!("\n== Figure 4: malware access bursts ==");
+    println!(
+        "first 25d: {}   resale wave 1 (25–60d): {}   resale wave 2 (95–135d): {}   rest: {}",
+        band(0.0, 25.0),
+        band(25.0, 60.0),
+        band(95.0, 135.0),
+        malware.len() - band(0.0, 25.0) - band(25.0, 60.0) - band(95.0, 135.0)
+    );
+    let russian_accounts: Vec<u32> = run
+        .leaks
+        .iter()
+        .filter(|l| l.russian)
+        .map(|l| l.account)
+        .collect();
+    let russian_first = points
+        .iter()
+        .filter(|p| russian_accounts.contains(&p.account))
+        .map(|p| p.day)
+        .fold(f64::INFINITY, f64::min);
+    println!("earliest access to a Russian-paste account: day {russian_first:.0} (paper: > 60)");
+
+    c.bench_function("fig4/build", |b| b.iter(|| fig4(black_box(&run.dataset))));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

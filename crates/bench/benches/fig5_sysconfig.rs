@@ -1,0 +1,51 @@
+//! Figures 5a/5b — browser and OS distributions per outlet.
+//!
+//! Paper shape: malware accesses are 100% unknown browsers and
+//! Windows-homogeneous; paste ~50% unknown browsers with a motley device
+//! mix (Android present); forums less cloaked than paste.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::figures::fig5;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use pwnd_net::useragent::{fingerprint, ClientConfig, Browser, Os};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let f = fig5(&run.dataset);
+
+    println!("\n== Figure 5a: browsers per outlet ==");
+    for (outlet, m) in &f.browsers {
+        let unknown = m.get("Unknown").copied().unwrap_or(0.0);
+        println!("{outlet:<8} unknown {:.0}%  ({})", unknown * 100.0, {
+            let mut parts: Vec<String> = m
+                .iter()
+                .filter(|(k, _)| k.as_str() != "Unknown")
+                .map(|(k, v)| format!("{k} {:.0}%", v * 100.0))
+                .collect();
+            parts.sort();
+            parts.join(", ")
+        });
+    }
+    println!("paper: malware 100% unknown; paste ≈50% unknown; forums less");
+    println!("\n== Figure 5b: operating systems per outlet ==");
+    for (outlet, m) in &f.oses {
+        let windows = m.get("Windows").copied().unwrap_or(0.0);
+        let android = m.get("Android").copied().unwrap_or(0.0);
+        println!(
+            "{outlet:<8} windows {:.0}%  android {:.0}%",
+            windows * 100.0,
+            android * 100.0
+        );
+    }
+    println!("paper: >50% Windows everywhere; Android on paste/forums only");
+
+    c.bench_function("fig5/build", |b| b.iter(|| fig5(black_box(&run.dataset))));
+    c.bench_function("fig5/fingerprint_stealth_client", |b| {
+        let cfg = ClientConfig::stealth(Browser::Firefox, Os::Windows);
+        b.iter(|| fingerprint(black_box(&cfg)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figures 6a/6b — median login-distance circles around the advertised
+//! decoy midpoints.
+//!
+//! Paper radii (km): paste UK 1400 (with location) vs 1784 (without);
+//! paste US 939 vs 7900; forum gaps visible but smaller. Location-bearing
+//! leaks pull logins toward the advertised midpoint — the §4.3.4
+//! "location malleability" finding.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::figures::fig6;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use pwnd_net::geo::{haversine_km, GeoPoint};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let conditions = fig6(&run.dataset);
+
+    println!("\n== Figure 6: median distances from advertised midpoints (km) ==");
+    let paper = [
+        ("paste", "UK", true, 1400.0),
+        ("paste", "UK", false, 1784.0),
+        ("paste", "US", true, 939.0),
+        ("paste", "US", false, 7900.0),
+    ];
+    for cond in &conditions {
+        let reference = paper
+            .iter()
+            .find(|&&(o, r, w, _)| o == cond.outlet && r == cond.region && w == cond.with_location)
+            .map(|&(_, _, _, v)| format!("(paper {v:.0})"))
+            .unwrap_or_default();
+        println!(
+            "{:<6} {} {:<14} median {:>7.0} km n={:<3} {}",
+            cond.outlet,
+            cond.region,
+            if cond.with_location { "with location" } else { "no location" },
+            cond.median_km.unwrap_or(f64::NAN),
+            cond.distances_km.len(),
+            reference
+        );
+    }
+
+    c.bench_function("fig6/build", |b| b.iter(|| fig6(black_box(&run.dataset))));
+    c.bench_function("fig6/haversine", |b| {
+        let a = GeoPoint { lat: 51.5074, lon: -0.1278 };
+        let z = GeoPoint { lat: 42.6389, lon: -83.2910 };
+        b.iter(|| haversine_km(black_box(a), black_box(z)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! §4.3.4 — origin statistics: Tor, countries, blacklist hits.
+//!
+//! Paper: 132/326 accesses via Tor (28/144 paste, 48/125 forum, 56/57
+//! malware); non-Tor accesses from 29 countries; 20 origin IPs found on
+//! the Spamhaus blacklist.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::tables::origin_stats;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let stats = origin_stats(&run.dataset, Some(&run.blacklist));
+
+    println!("\n== Origins (measured vs paper) ==");
+    for (outlet, paper) in [("paste", "28/144"), ("forum", "48/125"), ("malware", "56/57")] {
+        let (n, tor) = stats.tor_by_outlet.get(outlet).copied().unwrap_or((0, 0));
+        println!("{outlet:<8} tor {tor}/{n}  (paper {paper})");
+    }
+    println!("tor total       {} (paper 132)", stats.tor_total);
+    println!("countries       {} (paper 29)", stats.countries);
+    println!("blacklisted IPs {} (paper 20)", stats.blacklisted_ips);
+
+    c.bench_function("origins/compute_with_blacklist", |b| {
+        b.iter(|| origin_stats(black_box(&run.dataset), Some(black_box(&run.blacklist))))
+    });
+    c.bench_function("origins/compute_without_blacklist", |b| {
+        b.iter(|| origin_stats(black_box(&run.dataset), None))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! §4.1 overview — the headline numbers of the study.
+//!
+//! Paper: 326 unique accesses, 147 emails opened, 845 sent, 12 drafts,
+//! 90 accessed accounts (41 paste / 30 forum / 19 malware), 42 blocked,
+//! 36 hijacked. Prints the run's values next to the paper's and benches
+//! the overview computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::tables::overview;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let ov = overview(&run.dataset);
+
+    println!("\n== §4.1 overview (measured vs paper) ==");
+    println!("unique accesses    {:>5}  (326)", ov.total_accesses);
+    println!("emails opened      {:>5}  (147)", ov.emails_opened);
+    println!("emails sent        {:>5}  (845)", ov.emails_sent);
+    println!("drafts composed    {:>5}  (12)", ov.drafts_created);
+    println!("accounts accessed  {:>5}  (90)", ov.accounts_accessed);
+    for (outlet, paper) in [("paste", 41), ("forum", 30), ("malware", 19)] {
+        println!(
+            "  {outlet:<8} accounts {:>4}  ({paper})",
+            ov.accessed_by_outlet.get(outlet).copied().unwrap_or(0)
+        );
+    }
+    println!("accounts blocked   {:>5}  (42)", ov.accounts_blocked);
+    println!("accounts hijacked  {:>5}  (36)", ov.accounts_hijacked);
+
+    c.bench_function("overview/compute", |b| {
+        b.iter(|| overview(black_box(&run.dataset)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! §4.5 — attacker sophistication per outlet.
+//!
+//! Paper ordering: malware-outlet attackers are the stealthiest (Tor +
+//! hidden user agents + never destructive); forum attackers the least
+//! careful.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::sophistication::sophistication;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let rows = sophistication(&run.dataset);
+
+    println!("\n== §4.5 sophistication ==");
+    println!(
+        "{:<10} {:>10} {:>6} {:>16} {:>6}",
+        "outlet", "cfg hidden", "tor", "non-destructive", "score"
+    );
+    for r in &rows {
+        println!(
+            "{:<10} {:>10.2} {:>6.2} {:>16.2} {:>6.2}",
+            r.outlet, r.config_hidden, r.tor, r.non_destructive, r.score
+        );
+    }
+    let malware = rows.iter().find(|r| r.outlet == "malware").expect("row");
+    let others_max = rows
+        .iter()
+        .filter(|r| r.outlet != "malware")
+        .map(|r| r.score)
+        .fold(0.0f64, f64::max);
+    println!(
+        "malware stealth lead: {:.2} vs best other {:.2} (paper: malware stealthiest)",
+        malware.score, others_max
+    );
+
+    c.bench_function("sophistication/compute", |b| {
+        b.iter(|| sophistication(black_box(&run.dataset)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

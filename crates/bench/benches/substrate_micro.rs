@@ -1,0 +1,73 @@
+//! Substrate micro-benchmarks: the hot paths under the experiment loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_net::geo::GeoDb;
+use pwnd_net::geolocate::Geolocator;
+use pwnd_net::ip::AddressPlan;
+use pwnd_net::tor::TorDirectory;
+use pwnd_sim::dist::{Exp, LogNormal, PoissonProcess};
+use pwnd_sim::event::EventQueue;
+use pwnd_sim::{Rng, SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // RNG and distributions.
+    c.bench_function("sim/rng_next_u64", |b| {
+        let mut rng = Rng::seed_from(1);
+        b.iter(|| black_box(rng.next_u64()))
+    });
+    c.bench_function("sim/exp_sample", |b| {
+        let mut rng = Rng::seed_from(2);
+        let d = Exp::with_mean(10.0);
+        b.iter(|| d.sample(black_box(&mut rng)))
+    });
+    c.bench_function("sim/lognormal_sample", |b| {
+        let mut rng = Rng::seed_from(3);
+        let d = LogNormal::with_median(300.0, 1.0);
+        b.iter(|| d.sample(black_box(&mut rng)))
+    });
+
+    // Event queue throughput: schedule + drain 10k events.
+    c.bench_function("sim/event_queue_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..10_000u64 {
+                q.schedule(SimTime::from_secs((i * 7919) % 86_400), i);
+            }
+            let mut n = 0;
+            while q.pop().is_some() {
+                n += 1;
+            }
+            black_box(n)
+        })
+    });
+
+    // Thinning sampler over a decaying rate (a full paste lifetime).
+    c.bench_function("sim/poisson_thinning_236d", |b| {
+        let mut rng = Rng::seed_from(4);
+        let horizon = SimTime::ZERO + SimDuration::days(236);
+        b.iter(|| {
+            let p = PoissonProcess::new(
+                |t| 0.5 / 86_400.0 * (-t.as_days_f64() / 10.0).exp() + 0.004 / 86_400.0,
+                0.51 / 86_400.0,
+            );
+            p.sample_all(SimTime::ZERO, horizon, &mut rng).len()
+        })
+    });
+
+    // Geolocation path (runs on every login).
+    let geo = GeoDb::new();
+    let plan = AddressPlan::new(&geo);
+    let mut rng = Rng::seed_from(5);
+    let tor = TorDirectory::generate(800, &mut rng);
+    let locator = Geolocator::new(plan, geo, tor);
+    let ip = locator.plan().sample_host("BR", &mut rng);
+    c.bench_function("net/geolocate", |b| b.iter(|| locator.locate(black_box(ip))));
+    c.bench_function("net/sample_host_in_city", |b| {
+        let london = locator.geo().by_name("London").expect("city");
+        b.iter(|| locator.sample_host_in_city(black_box(london), &mut rng))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

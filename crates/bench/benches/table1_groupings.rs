@@ -1,0 +1,29 @@
+//! Table 1 — leak-plan groupings.
+//!
+//! Regenerates the paper's Table 1 (30/20/10/20/20 accounts across paste,
+//! forum, malware × location conditions) from the run's dataset and
+//! benches the reconstruction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::tables::table1;
+use pwnd_bench::{paper_run, BENCH_SEED};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+
+    println!("\n== Table 1: account groupings (paper: 30/20/10/20/20) ==");
+    for row in table1(&run.dataset) {
+        println!("group {}  {:>3} accounts  {}", row.group, row.accounts, row.outlet);
+    }
+
+    c.bench_function("table1/reconstruct_from_dataset", |b| {
+        b.iter(|| table1(black_box(&run.dataset)))
+    });
+    c.bench_function("table1/build_paper_plan", |b| {
+        b.iter(|| pwnd_leak::plan::LeakPlan::paper().total_accounts())
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

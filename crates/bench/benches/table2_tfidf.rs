@@ -1,0 +1,51 @@
+//! Table 2 — TF-IDF inference of attacker search keywords.
+//!
+//! Paper: the top terms by `TFIDF_R − TFIDF_A` are sensitive words
+//! (bitcoin, family, seller, localbitcoins, account, payment, …), while
+//! the corpus-dominant words (transfer, company, energy, power, …) score
+//! near zero or negative — evidence the opened emails were found by
+//! search, not at random.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_bench::{paper_run, BENCH_SEED};
+use pwnd_corpus::tokenize::Tokenizer;
+use pwnd_analysis::tfidf::TfidfTable;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let run = paper_run(BENCH_SEED);
+    let analysis = run.analysis();
+
+    println!("\n== Table 2 (left): inferred searched words ==");
+    for t in analysis.tfidf.top_searched(10) {
+        println!(
+            "{:<16} R {:>7.4}  A {:>7.4}  diff {:>7.4}",
+            t.term, t.tfidf_r, t.tfidf_a, t.diff()
+        );
+    }
+    println!("== Table 2 (right): corpus-dominant words ==");
+    for t in analysis.tfidf.top_corpus(10) {
+        println!(
+            "{:<16} R {:>7.4}  A {:>7.4}  diff {:>7.4}",
+            t.term, t.tfidf_r, t.tfidf_a, t.diff()
+        );
+    }
+
+    let tokenizer = Tokenizer::new().with_extra_stopwords(run.extra_stopwords.iter());
+    let opened = run.dataset.opened_texts.join("\n");
+    c.bench_function("table2/tfidf_full_corpus", |b| {
+        b.iter(|| {
+            TfidfTable::build(
+                black_box(&run.corpus_text),
+                black_box(&opened),
+                black_box(&tokenizer),
+            )
+        })
+    });
+    c.bench_function("table2/tokenize_opened_set", |b| {
+        b.iter(|| tokenizer.tokenize(black_box(&opened)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

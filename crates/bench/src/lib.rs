@@ -1,0 +1,43 @@
+//! # pwnd-bench — shared helpers for the benchmark harness
+//!
+//! Every table and figure of the paper has a Criterion bench target in
+//! `benches/`. Experiments are expensive (a full 236-day world), so the
+//! harness memoizes one run per (config flavour, seed) and lets each
+//! bench print its paper-vs-measured comparison once before timing the
+//! analysis step it regenerates.
+
+use parking_lot::Mutex;
+use pwnd_core::{Experiment, ExperimentConfig, RunOutput};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+type RunCache = HashMap<(bool, u64), Arc<RunOutput>>;
+
+static CACHE: Mutex<Option<RunCache>> = Mutex::new(None);
+
+/// The seed every bench uses by default, so printed numbers match across
+/// targets and EXPERIMENTS.md.
+pub const BENCH_SEED: u64 = 2016;
+
+/// Run (or fetch the memoized) paper experiment.
+pub fn paper_run(seed: u64) -> Arc<RunOutput> {
+    run_cached(false, seed)
+}
+
+/// Run (or fetch) the login-filter-enabled ablation.
+pub fn filtered_run(seed: u64) -> Arc<RunOutput> {
+    run_cached(true, seed)
+}
+
+fn run_cached(login_filter: bool, seed: u64) -> Arc<RunOutput> {
+    let mut guard = CACHE.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    if let Some(hit) = map.get(&(login_filter, seed)) {
+        return hit.clone();
+    }
+    let mut config = ExperimentConfig::paper(seed);
+    config.login_filter_enabled = login_filter;
+    let out = Arc::new(Experiment::new(config).run());
+    map.insert((login_filter, seed), out.clone());
+    out
+}

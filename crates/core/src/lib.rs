@@ -1,0 +1,34 @@
+#![warn(missing_docs)]
+
+//! # pwnd-core — experiment orchestration and the public API
+//!
+//! This crate wires every substrate together and runs the paper's
+//! experiment end to end, deterministically, from a single seed:
+//!
+//! 1. **Setup** — create 100 honey accounts (handling the provider's
+//!    signup rate limits), seed each with 200–300 synthetic corporate
+//!    emails, point their send-from at the sinkhole, hide a monitoring
+//!    script in each, and register them with the scraper.
+//! 2. **Leak** — publish credentials per the Table 1 plan: paste sites
+//!    (popular + Russian), forum teaser threads, and malware sandbox
+//!    cycles whose C&C exfiltration feeds the resale market.
+//! 3. **Run** — a discrete-event loop over the 7-month observation
+//!    window: attacker visits (composed by `pwnd-attacker`), 6-hourly
+//!    scrapes, daily heartbeats, script-notification processing.
+//! 4. **Collect** — build the censored [`pwnd_monitor::Dataset`] and the
+//!    ground truth, then hand both to `pwnd-analysis`.
+//!
+//! ```no_run
+//! use pwnd_core::{ExperimentConfig, Experiment};
+//!
+//! let output = Experiment::new(ExperimentConfig::paper(42)).run();
+//! println!("{}", output.analysis().render());
+//! ```
+
+pub mod config;
+pub mod experiment;
+pub mod output;
+
+pub use config::ExperimentConfig;
+pub use experiment::Experiment;
+pub use output::{GroundTruth, RunOutput};

@@ -1,0 +1,145 @@
+//! Persona archetypes — the §5 future-work scenario extension.
+//!
+//! The paper seeds generic *corporate* accounts and proposes, as future
+//! work, "studying attackers who have a specific motivation, for example
+//! compromising accounts that belong to political activists". An
+//! archetype selects the vocabulary strata the corpus generator draws
+//! from, the fictitious organization, and the sensitive terms a targeted
+//! attacker would hunt for.
+
+/// Who the honey personas pretend to be.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Archetype {
+    /// Employees of a fictitious energy-trading company (the paper's
+    /// setup; Enron-like corpus).
+    #[default]
+    CorporateEmployee,
+    /// Members of a fictitious civil-rights campaign (the paper's
+    /// proposed extension).
+    Activist,
+}
+
+/// Activist-corpus dominant vocabulary (all ≥ 5 chars).
+pub const ACTIVIST_CORE: &[&str] = &[
+    "campaign",
+    "petition",
+    "protest",
+    "rights",
+    "organize",
+    "community",
+    "volunteers",
+    "coalition",
+    "statement",
+    "press",
+    "march",
+    "rally",
+    "freedom",
+    "justice",
+    "support",
+    "please",
+    "would",
+    "about",
+    "email",
+    "information",
+    "meeting",
+    "network",
+    "movement",
+    "awareness",
+    "solidarity",
+];
+
+/// Activist sensitive terms — what a *motivated* attacker hunts for in a
+/// dissident's mailbox: identities, funders, travel, safe contacts.
+pub const ACTIVIST_SENSITIVE: &[&str] = &[
+    "sources",
+    "donors",
+    "contacts",
+    "passport",
+    "location",
+    "journalist",
+    "funding",
+    "identity",
+    "travel",
+    "safehouse",
+];
+
+impl Archetype {
+    /// The corpus-dominant vocabulary for this archetype.
+    pub fn core_vocab(self) -> &'static [&'static str] {
+        match self {
+            Archetype::CorporateEmployee => crate::vocab::CORE_BUSINESS,
+            Archetype::Activist => ACTIVIST_CORE,
+        }
+    }
+
+    /// The sensitive (search-bait) vocabulary for this archetype.
+    pub fn sensitive_vocab(self) -> &'static [&'static str] {
+        match self {
+            Archetype::CorporateEmployee => crate::vocab::SENSITIVE,
+            Archetype::Activist => ACTIVIST_SENSITIVE,
+        }
+    }
+
+    /// The fictitious organization name in signatures.
+    pub fn organization(self) -> &'static str {
+        match self {
+            Archetype::CorporateEmployee => crate::names::COMPANY_NAME,
+            Archetype::Activist => "Open Voices Coalition",
+        }
+    }
+
+    /// The organization's mail domain for peer addresses.
+    pub fn domain(self) -> &'static str {
+        match self {
+            Archetype::CorporateEmployee => crate::names::COMPANY_DOMAIN,
+            Archetype::Activist => "openvoices.example",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_setup() {
+        assert_eq!(Archetype::default(), Archetype::CorporateEmployee);
+        assert_eq!(
+            Archetype::CorporateEmployee.core_vocab(),
+            crate::vocab::CORE_BUSINESS
+        );
+    }
+
+    #[test]
+    fn activist_vocab_survives_tokenizer() {
+        for w in ACTIVIST_CORE.iter().chain(ACTIVIST_SENSITIVE) {
+            assert!(w.len() >= 5, "{w} would be dropped");
+            assert!(w.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn archetypes_have_disjoint_sensitive_strata() {
+        for w in ACTIVIST_SENSITIVE {
+            // "statement" is core activist vocab but corporate-sensitive;
+            // the *sensitive* strata themselves must not overlap, so the
+            // scenario comparison in the activist example is meaningful.
+            assert!(
+                !crate::vocab::SENSITIVE.contains(w),
+                "{w} in both sensitive pools"
+            );
+        }
+    }
+
+    #[test]
+    fn organizations_differ() {
+        assert_ne!(
+            Archetype::CorporateEmployee.organization(),
+            Archetype::Activist.organization()
+        );
+        assert_ne!(
+            Archetype::CorporateEmployee.domain(),
+            Archetype::Activist.domain()
+        );
+    }
+}

@@ -1,0 +1,63 @@
+//! Name pools for fictitious personas.
+//!
+//! The paper assigned accounts "random combinations of popular first and
+//! last names" (following Stringhini et al.'s social-honeypot setup).
+//! These are US/UK census-popular names.
+
+/// Popular first names.
+pub const FIRST_NAMES: &[&str] = &[
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda", "William",
+    "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica", "Thomas", "Sarah",
+    "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa", "Matthew", "Margaret",
+    "Anthony", "Betty", "Donald", "Sandra", "Mark", "Ashley", "Paul", "Dorothy", "Steven",
+    "Kimberly", "Andrew", "Emily", "Kenneth", "Donna", "George", "Michelle", "Joshua", "Carol",
+    "Kevin", "Amanda", "Brian", "Melissa", "Edward", "Deborah", "Ronald", "Stephanie", "Timothy",
+    "Rebecca", "Jason", "Laura", "Jeffrey", "Sharon", "Ryan", "Cynthia", "Jacob", "Kathleen",
+    "Gary", "Amy", "Nicholas", "Shirley", "Eric", "Angela", "Jonathan", "Helen", "Stephen",
+    "Anna", "Larry", "Brenda", "Justin", "Pamela", "Scott", "Nicole", "Brandon", "Samantha",
+];
+
+/// Popular last names.
+pub const LAST_NAMES: &[&str] = &[
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis", "Rodriguez",
+    "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson", "Thomas", "Taylor",
+    "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson", "White", "Harris", "Sanchez",
+    "Clark", "Ramirez", "Lewis", "Robinson", "Walker", "Young", "Allen", "King", "Wright",
+    "Scott", "Torres", "Nguyen", "Hill", "Flores", "Green", "Adams", "Nelson", "Baker", "Hall",
+    "Rivera", "Campbell", "Mitchell", "Carter", "Roberts", "Gomez", "Phillips", "Evans",
+    "Turner", "Diaz", "Parker", "Cruz", "Edwards", "Collins", "Reyes", "Stewart", "Morris",
+    "Morales", "Murphy", "Cook", "Rogers", "Gutierrez", "Ortiz", "Morgan", "Cooper", "Peterson",
+    "Bailey", "Reed", "Kelly", "Howard", "Ramos", "Kim", "Cox", "Ward", "Richardson",
+];
+
+/// The fictitious company replacing "Enron" in every generated email.
+pub const COMPANY_NAME: &str = "Meridian Power Group";
+
+/// Short form of the company name, used in email domains and signatures.
+pub const COMPANY_DOMAIN: &str = "meridianpower.example";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_large_enough_for_100_accounts() {
+        // 100 accounts need distinct combinations; with 78×79 pairs the
+        // birthday-collision probability is negligible after dedup.
+        assert!(FIRST_NAMES.len() >= 60);
+        assert!(LAST_NAMES.len() >= 60);
+    }
+
+    #[test]
+    fn names_are_nonempty_and_capitalized() {
+        for n in FIRST_NAMES.iter().chain(LAST_NAMES) {
+            assert!(!n.is_empty());
+            assert!(n.chars().next().unwrap().is_ascii_uppercase());
+        }
+    }
+
+    #[test]
+    fn company_is_not_enron() {
+        assert!(!COMPANY_NAME.to_lowercase().contains("enron"));
+    }
+}

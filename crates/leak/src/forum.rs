@@ -1,0 +1,360 @@
+//! Underground forums: teaser threads and logged inquiries.
+//!
+//! Following Stone-Gross et al.'s observations, the researchers posted a
+//! *sample* of "stolen" credentials on each forum, claimed to have more
+//! for sale, logged the inquiries that arrived, and never followed up
+//! (§3.2). Forum audiences are slower than paste sites but more motivated
+//! — Figure 1 shows forums with the highest gold-digger fraction.
+
+use pwnd_sim::{Rng, SimDuration, SimTime};
+
+/// One of the open forums used in the paper.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Forum {
+    /// Forum hostname.
+    pub name: &'static str,
+    /// Peak thread-visitor rate (credential-trying visitors/day/thread).
+    pub peak_rate_per_day: f64,
+    /// Decay constant, days. Forum threads keep getting bumped, so decay
+    /// is slower than on paste sites.
+    pub decay_days: f64,
+    /// Long-tail floor, visits/day.
+    pub floor_rate_per_day: f64,
+    /// Expected number of "how much for the full dataset?" inquiries per
+    /// teaser thread.
+    pub mean_inquiries: f64,
+}
+
+impl Forum {
+    /// offensivecommunity.net
+    pub fn offensive_community() -> Forum {
+        Forum {
+            name: "offensivecommunity.net",
+            peak_rate_per_day: 0.19,
+            decay_days: 21.0,
+            floor_rate_per_day: 0.008,
+            mean_inquiries: 2.0,
+        }
+    }
+
+    /// bestblackhatforums.eu
+    pub fn best_blackhat() -> Forum {
+        Forum {
+            name: "bestblackhatforums.eu",
+            peak_rate_per_day: 0.17,
+            decay_days: 21.0,
+            floor_rate_per_day: 0.008,
+            mean_inquiries: 1.5,
+        }
+    }
+
+    /// hackforums.net
+    pub fn hackforums() -> Forum {
+        Forum {
+            name: "hackforums.net",
+            peak_rate_per_day: 0.23,
+            decay_days: 21.0,
+            floor_rate_per_day: 0.008,
+            mean_inquiries: 3.0,
+        }
+    }
+
+    /// blackhatworld.com
+    pub fn blackhatworld() -> Forum {
+        Forum {
+            name: "blackhatworld.com",
+            peak_rate_per_day: 0.17,
+            decay_days: 21.0,
+            floor_rate_per_day: 0.008,
+            mean_inquiries: 1.5,
+        }
+    }
+
+    /// The four forums in rotation.
+    pub fn all() -> Vec<Forum> {
+        vec![
+            Forum::offensive_community(),
+            Forum::best_blackhat(),
+            Forum::hackforums(),
+            Forum::blackhatworld(),
+        ]
+    }
+
+    /// Instantaneous credential-trying visit rate (visits/second) for a
+    /// thread posted at `posted_at`.
+    pub fn visit_rate(&self, posted_at: SimTime, t: SimTime) -> f64 {
+        if t < posted_at {
+            return 0.0;
+        }
+        let age_days = t.since(posted_at).as_days_f64();
+        let per_day =
+            self.peak_rate_per_day * (-age_days / self.decay_days).exp() + self.floor_rate_per_day;
+        per_day / 86_400.0
+    }
+
+    /// Upper bound of the visit rate.
+    pub fn rate_max(&self) -> f64 {
+        (self.peak_rate_per_day + self.floor_rate_per_day) / 86_400.0
+    }
+}
+
+/// An inquiry received on a teaser thread. The researchers log these and
+/// never reply.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Inquiry {
+    /// When the inquiry arrived.
+    pub at: SimTime,
+    /// The asker's forum handle.
+    pub from_handle: String,
+    /// The message body.
+    pub message: String,
+}
+
+const INQUIRY_TEMPLATES: &[&str] = &[
+    "how much for the full dump?",
+    "are these fresh? need bulk",
+    "pm me price for the rest",
+    "sample works, want 500 more",
+    "do you take btc? interested in the whole set",
+];
+
+const HANDLE_PREFIXES: &[&str] = &["dark", "xx", "cyber", "ghost", "zero", "haxx", "shadow"];
+const HANDLE_SUFFIXES: &[&str] = &["wolf", "byte", "king", "dealer", "root", "cash", "crow"];
+
+/// Generate the inquiries a teaser thread attracts over its lifetime,
+/// exponentially spread over the first 30 days.
+pub fn generate_inquiries(forum: &Forum, posted_at: SimTime, rng: &mut Rng) -> Vec<Inquiry> {
+    // Poisson count with the forum's mean.
+    let mut count = 0usize;
+    let l = (-forum.mean_inquiries).exp();
+    let mut p = 1.0;
+    loop {
+        p *= rng.f64();
+        if p <= l {
+            break;
+        }
+        count += 1;
+    }
+    let mut out: Vec<Inquiry> = (0..count)
+        .map(|_| {
+            let delay_days = -30.0 * (1.0 - rng.f64()).ln() / 3.0; // exp, mean 10d
+            Inquiry {
+                at: posted_at + SimDuration::from_secs_f64(delay_days * 86_400.0),
+                from_handle: format!(
+                    "{}{}{}",
+                    rng.choose(HANDLE_PREFIXES),
+                    rng.choose(HANDLE_SUFFIXES),
+                    rng.below(1000)
+                ),
+                message: (*rng.choose(INQUIRY_TEMPLATES)).to_string(),
+            }
+        })
+        .collect();
+    out.sort_by_key(|i| i.at);
+    out
+}
+
+/// The seller account the researchers register on a forum. The paper
+/// chose forums that "were open for anybody to register" precisely so
+/// this step needs no vetting (§3.2).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SellerAccount {
+    /// Which forum the account lives on.
+    pub forum: &'static str,
+    /// The seller's handle.
+    pub handle: String,
+    /// Registration time.
+    pub registered_at: SimTime,
+}
+
+impl SellerAccount {
+    /// Register a fresh seller on `forum` at `at`.
+    pub fn register(forum: &Forum, at: SimTime, rng: &mut Rng) -> SellerAccount {
+        SellerAccount {
+            forum: forum.name,
+            handle: format!(
+                "{}{}{}",
+                rng.choose(HANDLE_PREFIXES),
+                rng.choose(HANDLE_SUFFIXES),
+                rng.below(10_000)
+            ),
+            registered_at: at,
+        }
+    }
+}
+
+/// A teaser thread: a free sample of "stolen" credentials plus the
+/// promise of a larger dataset for a fee — the Stone-Gross et al. modus
+/// operandi the researchers mimicked.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TeaserThread {
+    /// Which forum it was posted on.
+    pub forum: &'static str,
+    /// The posting seller's handle.
+    pub seller: String,
+    /// Posting time.
+    pub posted_at: SimTime,
+    /// Thread title.
+    pub title: String,
+    /// The credential lines actually disclosed (the free sample).
+    pub sample_lines: Vec<String>,
+    /// The advertised size of the full dataset ("more where this came
+    /// from"). Never delivered — the researchers logged inquiries and
+    /// went silent.
+    pub promised_total: usize,
+    /// Advertised price for the full dataset, USD.
+    pub price_usd: u32,
+}
+
+impl TeaserThread {
+    /// Post a teaser carrying `sample_lines` on the seller's forum.
+    pub fn post(
+        seller: &SellerAccount,
+        sample_lines: Vec<String>,
+        at: SimTime,
+        rng: &mut Rng,
+    ) -> TeaserThread {
+        let titles = [
+            "FRESH webmail accounts - free sample inside",
+            "[SELLING] corporate mail logins, samples first post",
+            "mail access combo - testing samples, bulk available",
+        ];
+        TeaserThread {
+            forum: seller.forum,
+            seller: seller.handle.clone(),
+            posted_at: at,
+            title: (*rng.choose(&titles)).to_string(),
+            promised_total: (sample_lines.len() + 1) * rng.range_u64(20, 60) as usize,
+            price_usd: rng.range_u64(50, 400) as u32,
+            sample_lines,
+        }
+    }
+}
+
+/// The seller's private-message inbox: inquiries arrive, none are ever
+/// answered ("we logged the messages ... but we did not follow up").
+#[derive(Clone, Debug, Default)]
+pub struct PmInbox {
+    messages: Vec<Inquiry>,
+}
+
+impl PmInbox {
+    /// An empty inbox.
+    pub fn new() -> PmInbox {
+        PmInbox::default()
+    }
+
+    /// Receive one inquiry.
+    pub fn receive(&mut self, inquiry: Inquiry) {
+        self.messages.push(inquiry);
+    }
+
+    /// All messages, arrival order.
+    pub fn messages(&self) -> &[Inquiry] {
+        &self.messages
+    }
+
+    /// Count of messages — all of them unanswered, by protocol.
+    pub fn unanswered(&self) -> usize {
+        self.messages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn four_forums_match_paper() {
+        let names: Vec<&str> = Forum::all().iter().map(|f| f.name).collect();
+        assert_eq!(
+            names,
+            vec![
+                "offensivecommunity.net",
+                "bestblackhatforums.eu",
+                "hackforums.net",
+                "blackhatworld.com"
+            ]
+        );
+    }
+
+    #[test]
+    fn forum_rate_decays_slower_than_pastebin() {
+        let forum = Forum::hackforums();
+        let paste = crate::paste::PasteSite::pastebin();
+        let posted = SimTime::ZERO;
+        let ratio_at = |d: u64| {
+            let f = forum.visit_rate(posted, posted + SimDuration::days(d));
+            let p = paste.visit_rate(posted, posted + SimDuration::days(d));
+            f / p
+        };
+        // Forums start slower but hold their audience longer.
+        assert!(ratio_at(0) < 1.0);
+        assert!(ratio_at(40) > ratio_at(0));
+    }
+
+    #[test]
+    fn no_visits_before_posting() {
+        let forum = Forum::blackhatworld();
+        let posted = SimTime::from_secs(1_000_000);
+        assert_eq!(forum.visit_rate(posted, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn inquiries_arrive_after_posting_sorted() {
+        let mut rng = Rng::seed_from(1);
+        let forum = Forum::hackforums();
+        let posted = SimTime::ZERO + SimDuration::days(3);
+        let mut any = false;
+        for _ in 0..20 {
+            let inqs = generate_inquiries(&forum, posted, &mut rng);
+            any |= !inqs.is_empty();
+            assert!(inqs.windows(2).all(|w| w[0].at <= w[1].at));
+            for i in &inqs {
+                assert!(i.at >= posted);
+                assert!(!i.from_handle.is_empty());
+                assert!(!i.message.is_empty());
+            }
+        }
+        assert!(any, "20 threads on hackforums should attract inquiries");
+    }
+
+    #[test]
+    fn seller_registration_and_teaser_post() {
+        let mut rng = Rng::seed_from(7);
+        let forum = Forum::offensive_community();
+        let seller = SellerAccount::register(&forum, SimTime::from_secs(100), &mut rng);
+        assert_eq!(seller.forum, "offensivecommunity.net");
+        assert!(!seller.handle.is_empty());
+        let lines = vec!["a@honeymail.example:pw1".to_string(), "b@honeymail.example:pw2".to_string()];
+        let thread = TeaserThread::post(&seller, lines.clone(), SimTime::from_secs(200), &mut rng);
+        assert_eq!(thread.sample_lines, lines);
+        assert!(thread.promised_total > lines.len(), "teaser must promise more");
+        assert!(thread.price_usd >= 50);
+        assert_eq!(thread.seller, seller.handle);
+    }
+
+    #[test]
+    fn pm_inbox_collects_and_never_answers() {
+        let mut rng = Rng::seed_from(8);
+        let forum = Forum::hackforums();
+        let mut inbox = PmInbox::new();
+        for inq in generate_inquiries(&forum, SimTime::ZERO, &mut rng) {
+            inbox.receive(inq);
+        }
+        assert_eq!(inbox.unanswered(), inbox.messages().len());
+    }
+
+    #[test]
+    fn inquiry_volume_tracks_forum_mean() {
+        let mut rng = Rng::seed_from(2);
+        let busy = Forum::hackforums();
+        let quiet = Forum::best_blackhat();
+        let total = |f: &Forum, rng: &mut Rng| -> usize {
+            (0..200)
+                .map(|_| generate_inquiries(f, SimTime::ZERO, rng).len())
+                .sum()
+        };
+        assert!(total(&busy, &mut rng) > total(&quiet, &mut rng));
+    }
+}

@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! # pwnd-leak — credential leak outlets
+//!
+//! The experiment's independent variable is *where* credentials leak
+//! (§3.2, Table 1): paste sites (including low-traffic Russian ones),
+//! open underground forums (teaser posts promising a bigger dataset for a
+//! fee), and information-stealing malware (credentials exfiltrated to a
+//! C&C server, held privately by one botmaster, and possibly resold on
+//! the underground market months later — the Figure 4 bursts).
+//!
+//! This crate models the **custody and visibility dynamics** of each
+//! outlet: who can see a credential at what time. The behaviour of the
+//! people who then *use* the credentials lives in `pwnd-attacker`.
+//!
+//! * [`plan`] — leak groups and the Table 1 experiment plan;
+//! * [`paste`] — paste sites with audience-reach profiles;
+//! * [`forum`] — forum threads, teaser mechanics, logged inquiries;
+//! * [`malware`] — sandbox/VM infection cycles, C&C liveness, exfiltration;
+//! * [`market`] — underground resale of malware-stolen accounts.
+
+pub mod forum;
+pub mod malware;
+pub mod market;
+pub mod paste;
+pub mod plan;
+
+pub use plan::{LeakContent, LeakPlan, LeakRecord, OutletKind};

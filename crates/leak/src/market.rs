@@ -1,0 +1,171 @@
+//! The underground resale market for malware-stolen accounts.
+//!
+//! Accounts stolen by malware are private to one botmaster "until they
+//! decide to sell them or to give them to someone else". Figure 4 shows
+//! two sharp bursts of fresh accesses to malware-leaked accounts, ~30 and
+//! ~100 days after the leak, and those later accesses switch from
+//! "curious" to "gold digger" — the signature of a sale. We model the
+//! botmaster's custody timeline: initial credential checks shortly after
+//! exfiltration, then batch sales at market epochs that hand the accounts
+//! to more motivated buyers.
+
+use crate::malware::CncId;
+use pwnd_sim::{Rng, SimDuration, SimTime};
+
+/// Who currently holds (and acts on) a stolen account.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Custodian {
+    /// The botmaster who ran the C&C.
+    Botmaster(CncId),
+    /// A buyer from the underground market (numbered per sale wave).
+    Buyer {
+        /// Which sale wave produced this buyer.
+        wave: u32,
+    },
+}
+
+/// One batch sale event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sale {
+    /// When the batch changed hands.
+    pub at: SimTime,
+    /// Sale wave index (0-based).
+    pub wave: u32,
+    /// Accounts included.
+    pub accounts: Vec<u32>,
+}
+
+/// The custody timeline of malware-stolen accounts.
+#[derive(Clone, Debug)]
+pub struct Market {
+    /// Days after exfiltration at which the botmaster sells batches
+    /// (Figure 4's inflection points).
+    pub sale_wave_days: Vec<f64>,
+    /// Fraction of the remaining loot sold in each wave.
+    pub wave_fraction: f64,
+}
+
+impl Default for Market {
+    fn default() -> Self {
+        Market {
+            sale_wave_days: vec![30.0, 100.0],
+            wave_fraction: 0.6,
+        }
+    }
+}
+
+impl Market {
+    /// Plan the sales for one C&C's loot: which accounts are sold in which
+    /// wave. Accounts never sold stay with the botmaster.
+    pub fn plan_sales(
+        &self,
+        loot: &[(u32, SimTime)],
+        rng: &mut Rng,
+    ) -> (Vec<Sale>, Vec<u32>) {
+        let mut remaining: Vec<(u32, SimTime)> = loot.to_vec();
+        let mut sales = Vec::new();
+        for (wave, &days) in self.sale_wave_days.iter().enumerate() {
+            if remaining.is_empty() {
+                break;
+            }
+            let take = ((remaining.len() as f64) * self.wave_fraction).round() as usize;
+            let take = take.clamp(usize::from(!remaining.is_empty()), remaining.len());
+            let picked = rng.sample_indices(remaining.len(), take);
+            let mut picked_sorted = picked;
+            picked_sorted.sort_unstable_by(|a, b| b.cmp(a)); // remove from back
+            let mut accounts = Vec::with_capacity(take);
+            // The sale timestamp keys off the earliest theft in the batch,
+            // plus small per-wave jitter.
+            let base = remaining.iter().map(|&(_, t)| t).min().expect("non-empty");
+            let jitter = SimDuration::from_secs_f64(rng.range_f64(0.0, 3.0) * 86_400.0);
+            let at = base + SimDuration::from_secs_f64(days * 86_400.0) + jitter;
+            for idx in picked_sorted {
+                accounts.push(remaining.swap_remove(idx).0);
+            }
+            accounts.sort_unstable();
+            sales.push(Sale {
+                at,
+                wave: wave as u32,
+                accounts,
+            });
+        }
+        let unsold = remaining.into_iter().map(|(a, _)| a).collect();
+        (sales, unsold)
+    }
+
+    /// Custodian of `account` at time `t`, given the planned sales.
+    pub fn custodian_at(sales: &[Sale], cnc: CncId, account: u32, t: SimTime) -> Custodian {
+        let mut current = Custodian::Botmaster(cnc);
+        for sale in sales {
+            if sale.at <= t && sale.accounts.contains(&account) {
+                current = Custodian::Buyer { wave: sale.wave };
+            }
+        }
+        current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loot() -> Vec<(u32, SimTime)> {
+        (0..20).map(|i| (i, SimTime::from_secs(i as u64 * 3600))).collect()
+    }
+
+    #[test]
+    fn two_waves_cover_most_of_the_loot() {
+        let market = Market::default();
+        let mut rng = Rng::seed_from(1);
+        let (sales, unsold) = market.plan_sales(&loot(), &mut rng);
+        assert_eq!(sales.len(), 2);
+        let sold: usize = sales.iter().map(|s| s.accounts.len()).sum();
+        assert_eq!(sold + unsold.len(), 20);
+        assert!(sold >= 15, "waves should move most accounts ({sold})");
+    }
+
+    #[test]
+    fn wave_timing_matches_figure4() {
+        let market = Market::default();
+        let mut rng = Rng::seed_from(2);
+        let (sales, _) = market.plan_sales(&loot(), &mut rng);
+        let d0 = sales[0].at.as_days_f64();
+        let d1 = sales[1].at.as_days_f64();
+        assert!((30.0..36.0).contains(&d0), "wave 0 at day {d0}");
+        assert!((100.0..106.0).contains(&d1), "wave 1 at day {d1}");
+    }
+
+    #[test]
+    fn custody_transfers_on_sale() {
+        let market = Market::default();
+        let mut rng = Rng::seed_from(3);
+        let (sales, _) = market.plan_sales(&loot(), &mut rng);
+        let cnc = CncId(0);
+        let acct = sales[0].accounts[0];
+        let before = Market::custodian_at(&sales, cnc, acct, SimTime::ZERO + SimDuration::days(5));
+        let after = Market::custodian_at(&sales, cnc, acct, sales[0].at + SimDuration::days(1));
+        assert_eq!(before, Custodian::Botmaster(cnc));
+        assert_eq!(after, Custodian::Buyer { wave: 0 });
+    }
+
+    #[test]
+    fn empty_loot_plans_nothing() {
+        let market = Market::default();
+        let mut rng = Rng::seed_from(4);
+        let (sales, unsold) = market.plan_sales(&[], &mut rng);
+        assert!(sales.is_empty());
+        assert!(unsold.is_empty());
+    }
+
+    #[test]
+    fn sales_are_disjoint() {
+        let market = Market::default();
+        let mut rng = Rng::seed_from(5);
+        let (sales, unsold) = market.plan_sales(&loot(), &mut rng);
+        let mut all: Vec<u32> = sales.iter().flat_map(|s| s.accounts.clone()).collect();
+        all.extend(&unsold);
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 20, "every account appears exactly once");
+    }
+}

@@ -1,0 +1,157 @@
+//! Paste sites and their audience-reach dynamics.
+//!
+//! Figure 3: within 25 days of the leak, paste-site accounts had received
+//! 80% of all the unique accesses they would ever get — the audience is
+//! large and fast, then the paste sinks off the recent-pastes page. The
+//! ten credentials leaked to Russian paste sites sat untouched for over
+//! two months (Figure 4) — their audience is tiny and slow. We model each
+//! site's visit intensity as an exponentially decaying rate (plus a small
+//! long-tail floor from search-engine stragglers), delayed for the
+//! Russian sites.
+
+use pwnd_sim::{SimDuration, SimTime};
+
+/// A paste site's audience profile.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PasteSite {
+    /// Site hostname.
+    pub name: &'static str,
+    /// Peak attacker-visit rate right after posting, in visits/day
+    /// (per paste).
+    pub peak_rate_per_day: f64,
+    /// Exponential decay constant of that rate, in days.
+    pub decay_days: f64,
+    /// Long-tail floor rate, visits/day (crawlers, search hits).
+    pub floor_rate_per_day: f64,
+    /// Delay before *anyone* of consequence sees the paste (the Russian
+    /// sites' silence).
+    pub audience_delay: SimDuration,
+}
+
+impl PasteSite {
+    /// pastebin.com — the flagship, big fast audience.
+    pub fn pastebin() -> PasteSite {
+        PasteSite {
+            name: "pastebin.com",
+            peak_rate_per_day: 0.58,
+            decay_days: 10.0,
+            floor_rate_per_day: 0.004,
+            audience_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// pastie.org — smaller but similar shape.
+    pub fn pastie() -> PasteSite {
+        PasteSite {
+            name: "pastie.org",
+            peak_rate_per_day: 0.52,
+            decay_days: 12.0,
+            floor_rate_per_day: 0.004,
+            audience_delay: SimDuration::ZERO,
+        }
+    }
+
+    /// p.for-us.nl — a Russian paste site with a minuscule audience.
+    pub fn russian_forus() -> PasteSite {
+        PasteSite {
+            name: "p.for-us.nl",
+            peak_rate_per_day: 0.03,
+            decay_days: 50.0,
+            floor_rate_per_day: 0.001,
+            audience_delay: SimDuration::days(65),
+        }
+    }
+
+    /// paste.org.ru — same population.
+    pub fn russian_orgru() -> PasteSite {
+        PasteSite {
+            name: "paste.org.ru",
+            peak_rate_per_day: 0.03,
+            decay_days: 50.0,
+            floor_rate_per_day: 0.001,
+            audience_delay: SimDuration::days(70),
+        }
+    }
+
+    /// The popular (non-Russian) sites in rotation.
+    pub fn popular() -> Vec<PasteSite> {
+        vec![PasteSite::pastebin(), PasteSite::pastie()]
+    }
+
+    /// The Russian sites in rotation.
+    pub fn russian() -> Vec<PasteSite> {
+        vec![PasteSite::russian_forus(), PasteSite::russian_orgru()]
+    }
+
+    /// Instantaneous attacker-visit rate (visits/second) at time `t` for a
+    /// paste posted at `posted_at`.
+    pub fn visit_rate(&self, posted_at: SimTime, t: SimTime) -> f64 {
+        if t < posted_at + self.audience_delay {
+            return 0.0;
+        }
+        let age_days = t.since(posted_at + self.audience_delay).as_days_f64();
+        let per_day =
+            self.peak_rate_per_day * (-age_days / self.decay_days).exp() + self.floor_rate_per_day;
+        per_day / 86_400.0
+    }
+
+    /// Upper bound of [`PasteSite::visit_rate`] over all time (for
+    /// thinning samplers).
+    pub fn rate_max(&self) -> f64 {
+        (self.peak_rate_per_day + self.floor_rate_per_day) / 86_400.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rate_decays_after_posting() {
+        let site = PasteSite::pastebin();
+        let posted = SimTime::ZERO;
+        let r0 = site.visit_rate(posted, posted);
+        let r30 = site.visit_rate(posted, posted + SimDuration::days(30));
+        let r200 = site.visit_rate(posted, posted + SimDuration::days(200));
+        assert!(r0 > r30);
+        assert!(r30 > r200);
+        // Long tail never hits zero.
+        assert!(r200 > 0.0);
+    }
+
+    #[test]
+    fn russian_sites_silent_for_two_months() {
+        let site = PasteSite::russian_forus();
+        let posted = SimTime::ZERO;
+        assert_eq!(site.visit_rate(posted, posted + SimDuration::days(30)), 0.0);
+        assert_eq!(site.visit_rate(posted, posted + SimDuration::days(64)), 0.0);
+        assert!(site.visit_rate(posted, posted + SimDuration::days(66)) > 0.0);
+    }
+
+    #[test]
+    fn rate_max_bounds_rate() {
+        for site in PasteSite::popular().into_iter().chain(PasteSite::russian()) {
+            let posted = SimTime::ZERO;
+            let m = site.rate_max();
+            for d in 0..300 {
+                let r = site.visit_rate(posted, posted + SimDuration::days(d));
+                assert!(r <= m * (1.0 + 1e-12), "{} day {d}", site.name);
+            }
+        }
+    }
+
+    #[test]
+    fn popular_sites_much_faster_than_russian() {
+        let fast = PasteSite::pastebin();
+        let slow = PasteSite::russian_forus();
+        // Integrated visits over the first 25 days: pastebin should
+        // dominate by an order of magnitude (Figure 3's 80% vs the
+        // Russian subset's silence).
+        let integrate = |s: &PasteSite| -> f64 {
+            (0..25 * 24)
+                .map(|h| s.visit_rate(SimTime::ZERO, SimTime::from_secs(h * 3600)) * 3600.0)
+                .sum()
+        };
+        assert!(integrate(&fast) > 10.0 * integrate(&slow).max(1e-12));
+    }
+}

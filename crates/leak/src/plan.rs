@@ -1,0 +1,216 @@
+//! Leak groups and the Table 1 plan.
+
+use pwnd_corpus::persona::DecoyRegion;
+
+/// The three outlet families of the study.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OutletKind {
+    /// Public paste sites (pastebin.com, pastie.org, and the Russian
+    /// p.for-us.nl / paste.org.ru).
+    Paste,
+    /// Open underground forums (offensivecommunity.net and friends).
+    Forum,
+    /// Information-stealing malware (Zeus / Corebot families).
+    Malware,
+}
+
+impl OutletKind {
+    /// Label used in datasets and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            OutletKind::Paste => "paste",
+            OutletKind::Forum => "forum",
+            OutletKind::Malware => "malware",
+        }
+    }
+
+    /// All outlet kinds.
+    pub const ALL: [OutletKind; 3] = [OutletKind::Paste, OutletKind::Forum, OutletKind::Malware];
+}
+
+/// One group of honey accounts leaked the same way (a Table 1 row).
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakGroup {
+    /// Outlet family.
+    pub kind: OutletKind,
+    /// Number of accounts in the group.
+    pub count: usize,
+    /// Whether the leak advertises the persona's decoy location + DOB.
+    pub with_location: bool,
+    /// For paste groups only: how many of the accounts go to the Russian
+    /// paste sites instead of the popular ones.
+    pub russian_paste: usize,
+}
+
+/// The full leak plan.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakPlan {
+    /// Groups, in Table 1 order.
+    pub groups: Vec<LeakGroup>,
+}
+
+impl LeakPlan {
+    /// The paper's Table 1 plan:
+    ///
+    /// | Group | Accounts | Outlet |
+    /// |-------|----------|--------|
+    /// | 1 | 30 | paste sites, no location (10 of them on Russian sites) |
+    /// | 2 | 20 | paste sites, with location |
+    /// | 3 | 10 | forums, no location |
+    /// | 4 | 20 | forums, with location |
+    /// | 5 | 20 | malware, no location |
+    pub fn paper() -> LeakPlan {
+        LeakPlan {
+            groups: vec![
+                LeakGroup {
+                    kind: OutletKind::Paste,
+                    count: 30,
+                    with_location: false,
+                    russian_paste: 10,
+                },
+                LeakGroup {
+                    kind: OutletKind::Paste,
+                    count: 20,
+                    with_location: true,
+                    russian_paste: 0,
+                },
+                LeakGroup {
+                    kind: OutletKind::Forum,
+                    count: 10,
+                    with_location: false,
+                    russian_paste: 0,
+                },
+                LeakGroup {
+                    kind: OutletKind::Forum,
+                    count: 20,
+                    with_location: true,
+                    russian_paste: 0,
+                },
+                LeakGroup {
+                    kind: OutletKind::Malware,
+                    count: 20,
+                    with_location: false,
+                    russian_paste: 0,
+                },
+            ],
+        }
+    }
+
+    /// Total accounts across all groups.
+    pub fn total_accounts(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Accounts leaked through a given outlet kind.
+    pub fn count_for(&self, kind: OutletKind) -> usize {
+        self.groups
+            .iter()
+            .filter(|g| g.kind == kind)
+            .map(|g| g.count)
+            .sum()
+    }
+}
+
+/// What a leak discloses about one account.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakContent {
+    /// Webmail address.
+    pub address: String,
+    /// Password at leak time.
+    pub password: String,
+    /// Advertised persona location (city name) and region, when disclosed.
+    pub advertised: Option<(DecoyRegion, String)>,
+    /// Advertised date of birth (formatted), when disclosed.
+    pub dob: Option<String>,
+}
+
+impl LeakContent {
+    /// Bare username/password pair.
+    pub fn bare(address: &str, password: &str) -> LeakContent {
+        LeakContent {
+            address: address.to_string(),
+            password: password.to_string(),
+            advertised: None,
+            dob: None,
+        }
+    }
+
+    /// Render as the text actually pasted/posted (one credential line).
+    pub fn render(&self) -> String {
+        match (&self.advertised, &self.dob) {
+            (Some((region, city)), Some(dob)) => format!(
+                "{}:{} | location: {}, {} | dob: {}",
+                self.address,
+                self.password,
+                city,
+                match region {
+                    DecoyRegion::Uk => "UK",
+                    DecoyRegion::Us => "US",
+                },
+                dob
+            ),
+            _ => format!("{}:{}", self.address, self.password),
+        }
+    }
+}
+
+/// A record of one account's leak: where, when, and what was disclosed.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LeakRecord {
+    /// Account index in the experiment.
+    pub account: u32,
+    /// Outlet family.
+    pub kind: OutletKind,
+    /// Specific site/forum/sample label.
+    pub site: String,
+    /// When the credentials were published/exfiltrated.
+    pub at: pwnd_sim::SimTime,
+    /// Disclosed content.
+    pub content: LeakContent,
+    /// Whether this paste went to the Russian sites (affects audience).
+    pub russian: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_plan_matches_table1() {
+        let p = LeakPlan::paper();
+        assert_eq!(p.total_accounts(), 100);
+        assert_eq!(p.count_for(OutletKind::Paste), 50);
+        assert_eq!(p.count_for(OutletKind::Forum), 30);
+        assert_eq!(p.count_for(OutletKind::Malware), 20);
+        assert_eq!(p.groups.len(), 5);
+        assert_eq!(p.groups[0].russian_paste, 10);
+        assert!(!p.groups[0].with_location);
+        assert!(p.groups[1].with_location);
+    }
+
+    #[test]
+    fn bare_content_renders_as_colon_pair() {
+        let c = LeakContent::bare("a@honeymail.example", "pw123");
+        assert_eq!(c.render(), "a@honeymail.example:pw123");
+    }
+
+    #[test]
+    fn located_content_renders_location_and_dob() {
+        let c = LeakContent {
+            address: "a@honeymail.example".into(),
+            password: "pw".into(),
+            advertised: Some((DecoyRegion::Uk, "London".into())),
+            dob: Some("1975-03-14".into()),
+        };
+        let r = c.render();
+        assert!(r.contains("London, UK"));
+        assert!(r.contains("1975-03-14"));
+    }
+
+    #[test]
+    fn outlet_labels() {
+        assert_eq!(OutletKind::Paste.label(), "paste");
+        assert_eq!(OutletKind::Forum.label(), "forum");
+        assert_eq!(OutletKind::Malware.label(), "malware");
+    }
+}

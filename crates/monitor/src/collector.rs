@@ -1,0 +1,159 @@
+//! The dedicated collector account that receives script notifications.
+
+use pwnd_corpus::email::EmailId;
+use pwnd_net::access::CookieId;
+use pwnd_sim::SimTime;
+use pwnd_webmail::account::AccountId;
+
+/// What a notification reports.
+#[derive(Clone, Debug, PartialEq)]
+pub enum NotificationKind {
+    /// An email was opened; carries a snapshot of its text (the script
+    /// reads the message it was notified about).
+    Opened {
+        /// The opened message.
+        email: EmailId,
+        /// Subject + body snapshot, the raw material of the TF-IDF study.
+        text: String,
+    },
+    /// An email was starred.
+    Starred {
+        /// The starred message.
+        email: EmailId,
+    },
+    /// An email was sent.
+    Sent {
+        /// The sent message.
+        email: EmailId,
+        /// Number of intended recipients.
+        recipients: usize,
+    },
+    /// A draft was created; the script forwards a full copy.
+    DraftCopy {
+        /// The draft.
+        email: EmailId,
+        /// Subject + body snapshot.
+        text: String,
+    },
+    /// Daily liveness heartbeat.
+    Heartbeat,
+}
+
+/// One notification email received by the collector.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Notification {
+    /// Which honey account emitted it.
+    pub account: AccountId,
+    /// When the triggering activity happened.
+    pub at: SimTime,
+    /// Access cookie of the actor, when the event has one (heartbeats
+    /// don't).
+    pub cookie: Option<CookieId>,
+    /// Payload.
+    pub kind: NotificationKind,
+}
+
+/// The collector mailbox: an append-only notification store with the
+/// query methods the dataset builder and analyses need.
+#[derive(Clone, Debug, Default)]
+pub struct NotificationCollector {
+    notifications: Vec<Notification>,
+}
+
+impl NotificationCollector {
+    /// An empty collector.
+    pub fn new() -> NotificationCollector {
+        NotificationCollector::default()
+    }
+
+    /// Receive one notification.
+    pub fn receive(&mut self, n: Notification) {
+        self.notifications.push(n);
+    }
+
+    /// All notifications, in arrival order.
+    pub fn all(&self) -> &[Notification] {
+        &self.notifications
+    }
+
+    /// Notifications for one account.
+    pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = &Notification> {
+        self.notifications.iter().filter(move |n| n.account == account)
+    }
+
+    /// The last heartbeat seen from an account, if any.
+    pub fn last_heartbeat(&self, account: AccountId) -> Option<SimTime> {
+        self.for_account(account)
+            .filter(|n| matches!(n.kind, NotificationKind::Heartbeat))
+            .map(|n| n.at)
+            .max()
+    }
+
+    /// Text snapshots of every opened email (document `d_R` of §4.3.5).
+    pub fn opened_texts(&self) -> Vec<&str> {
+        self.notifications
+            .iter()
+            .filter_map(|n| match &n.kind {
+                NotificationKind::Opened { text, .. } => Some(text.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Count of non-heartbeat notifications (activity volume).
+    pub fn activity_count(&self) -> usize {
+        self.notifications
+            .iter()
+            .filter(|n| !matches!(n.kind, NotificationKind::Heartbeat))
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn note(acct: u32, at: u64, kind: NotificationKind) -> Notification {
+        Notification {
+            account: AccountId(acct),
+            at: SimTime::from_secs(at),
+            cookie: Some(CookieId(1)),
+            kind,
+        }
+    }
+
+    #[test]
+    fn collects_and_filters_by_account() {
+        let mut c = NotificationCollector::new();
+        c.receive(note(1, 10, NotificationKind::Heartbeat));
+        c.receive(note(2, 20, NotificationKind::Starred { email: EmailId(5) }));
+        c.receive(note(1, 30, NotificationKind::Heartbeat));
+        assert_eq!(c.all().len(), 3);
+        assert_eq!(c.for_account(AccountId(1)).count(), 2);
+        assert_eq!(c.last_heartbeat(AccountId(1)), Some(SimTime::from_secs(30)));
+        assert_eq!(c.last_heartbeat(AccountId(3)), None);
+        assert_eq!(c.activity_count(), 1);
+    }
+
+    #[test]
+    fn opened_texts_collects_snapshots() {
+        let mut c = NotificationCollector::new();
+        c.receive(note(
+            1,
+            10,
+            NotificationKind::Opened {
+                email: EmailId(1),
+                text: "payment details".into(),
+            },
+        ));
+        c.receive(note(
+            1,
+            20,
+            NotificationKind::DraftCopy {
+                email: EmailId(2),
+                text: "bitcoin ransom".into(),
+            },
+        ));
+        assert_eq!(c.opened_texts(), vec!["payment details"]);
+    }
+}

@@ -1,0 +1,575 @@
+//! The parsed access-metadata dataset.
+//!
+//! The paper publishes "a dataset containing the parsed metadata of the
+//! accesses received from our honey accounts". [`DatasetBuilder`] produces
+//! the equivalent: it merges the scraper's raw activity-page dumps with
+//! the collector's script notifications into one [`ParsedAccess`] record
+//! per (account, cookie) pair, then applies the paper's §4.1 filters —
+//! dropping accesses made from the monitoring infrastructure's IPs and
+//! from the city where the infrastructure is located.
+//!
+//! The dataset is the *censored* view: hijacked accounts contribute
+//! nothing after the hijack (the scraper is locked out), blocked accounts
+//! nothing after the block, and an access that only ever appeared in the
+//! activity-page ring between two scrapes is lost. Analyses operate on
+//! this view, exactly as the paper's did.
+
+use crate::collector::{NotificationCollector, NotificationKind};
+use crate::scraper::ActivityDump;
+use pwnd_net::access::CookieId;
+use pwnd_net::geolocate::{Geolocator, INFRA_CITY};
+use pwnd_net::ip::AddressPlan;
+use pwnd_sim::SimTime;
+use pwnd_webmail::account::AccountId;
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One unique access: a device cookie observed on a honey account.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct ParsedAccess {
+    /// Account index.
+    pub account: u32,
+    /// Cookie identifier.
+    pub cookie: u64,
+    /// First time this cookie was observed (seconds since epoch).
+    pub first_seen_secs: u64,
+    /// Last time this cookie was observed.
+    pub last_seen_secs: u64,
+    /// Source IP (dotted quad), `0.0.0.0` when no activity row survived.
+    pub ip: String,
+    /// Geolocated country code, if any.
+    pub country: Option<String>,
+    /// Geolocated city name.
+    pub city: String,
+    /// Geolocated latitude.
+    pub lat: f64,
+    /// Geolocated longitude.
+    pub lon: f64,
+    /// Fingerprinted browser label.
+    pub browser: String,
+    /// Fingerprinted OS label.
+    pub os: String,
+    /// Whether the source IP is a Tor exit.
+    pub via_tor: bool,
+    /// Emails opened by this cookie (from notifications).
+    pub opened: u32,
+    /// Emails sent by this cookie.
+    pub sent: u32,
+    /// Drafts created by this cookie.
+    pub drafts: u32,
+    /// Emails starred by this cookie.
+    pub starred: u32,
+    /// Whether this access is charged with the account's password change.
+    pub hijacker: bool,
+    /// Whether at least one scraped activity row backed this record (if
+    /// not, location fields are placeholders).
+    pub has_location_row: bool,
+}
+
+impl ParsedAccess {
+    /// Access duration: `t_last − t_0`, in seconds. A lower bound, as the
+    /// paper notes (observation stops at hijack/block).
+    pub fn duration_secs(&self) -> u64 {
+        self.last_seen_secs.saturating_sub(self.first_seen_secs)
+    }
+}
+
+/// Per-account metadata attached by the experiment driver.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AccountRecord {
+    /// Account index.
+    pub account: u32,
+    /// Leak outlet label (e.g. `"paste"`, `"forum"`, `"malware"`).
+    pub outlet: String,
+    /// Advertised decoy region (`"UK"` / `"US"`), when the leak included
+    /// location information.
+    pub advertised_region: Option<String>,
+    /// When the credentials were leaked.
+    pub leaked_at_secs: u64,
+    /// When the scraper first observed a hijack, if ever.
+    pub hijack_detected_secs: Option<u64>,
+    /// When the scraper first observed a block, if ever.
+    pub block_detected_secs: Option<u64>,
+}
+
+/// The full published dataset.
+#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+pub struct Dataset {
+    /// One record per unique (account, cookie) access, post-filtering.
+    pub accesses: Vec<ParsedAccess>,
+    /// One record per honey account.
+    pub accounts: Vec<AccountRecord>,
+    /// Text snapshots of every email the attackers opened (document `d_R`
+    /// of the TF-IDF analysis).
+    pub opened_texts: Vec<String>,
+}
+
+impl Dataset {
+    /// Serialize to pretty JSON (the export format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("dataset serializes")
+    }
+
+    /// Parse from JSON.
+    pub fn from_json(s: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Accesses belonging to accounts with a given outlet label.
+    pub fn accesses_for_outlet<'a>(&'a self, outlet: &'a str) -> impl Iterator<Item = &'a ParsedAccess> {
+        let accounts: HashSet<u32> = self
+            .accounts
+            .iter()
+            .filter(|a| a.outlet == outlet)
+            .map(|a| a.account)
+            .collect();
+        self.accesses
+            .iter()
+            .filter(move |x| accounts.contains(&x.account))
+    }
+
+    /// The account record for an access.
+    pub fn account_record(&self, account: u32) -> Option<&AccountRecord> {
+        self.accounts.iter().find(|a| a.account == account)
+    }
+
+    /// Number of distinct accounts that received at least one access.
+    pub fn accounts_with_accesses(&self) -> usize {
+        self.accesses
+            .iter()
+            .map(|a| a.account)
+            .collect::<HashSet<_>>()
+            .len()
+    }
+}
+
+/// The location-bearing fields scraped from one activity row:
+/// (ip, country, city, lat, lon, browser, os, via_tor).
+type RowFields = (String, Option<String>, String, f64, f64, String, String, bool);
+
+#[derive(Default)]
+struct PerCookie {
+    first: Option<u64>,
+    last: Option<u64>,
+    row: Option<RowFields>,
+    opened: u32,
+    sent: u32,
+    drafts: u32,
+    starred: u32,
+}
+
+/// Builds a [`Dataset`] from the monitoring outputs.
+pub struct DatasetBuilder<'a> {
+    geolocator: &'a Geolocator,
+    dumps: &'a [ActivityDump],
+    collector: &'a NotificationCollector,
+    own_cookies: HashSet<u64>,
+    meta: Vec<AccountRecord>,
+}
+
+impl<'a> DatasetBuilder<'a> {
+    /// Start a build over the monitoring outputs.
+    pub fn new(
+        geolocator: &'a Geolocator,
+        dumps: &'a [ActivityDump],
+        collector: &'a NotificationCollector,
+    ) -> DatasetBuilder<'a> {
+        DatasetBuilder {
+            geolocator,
+            dumps,
+            collector,
+            own_cookies: HashSet::new(),
+            meta: Vec::new(),
+        }
+    }
+
+    /// Exclude the scraper's own cookies.
+    pub fn with_own_cookies(mut self, cookies: &[CookieId]) -> Self {
+        self.own_cookies = cookies.iter().map(|c| c.0).collect();
+        self
+    }
+
+    /// Attach per-account metadata (outlet labels, leak times, detection
+    /// times).
+    pub fn with_accounts(mut self, meta: Vec<AccountRecord>) -> Self {
+        self.meta = meta;
+        self
+    }
+
+    /// Produce the dataset.
+    pub fn build(self) -> Dataset {
+        let mut per: BTreeMap<(u32, u64), PerCookie> = BTreeMap::new();
+
+        // Activity rows from every dump (a row may appear in many dumps;
+        // merging by (cookie, at) dedupes naturally through min/max).
+        for dump in self.dumps {
+            for row in &dump.rows {
+                let key = (account_key(dump.account), row.cookie.0);
+                let e = per.entry(key).or_default();
+                let t = row.at.as_secs();
+                e.first = Some(e.first.map_or(t, |f| f.min(t)));
+                e.last = Some(e.last.map_or(t, |l| l.max(t)));
+                let via_tor = self.geolocator.is_tor_exit(row.ip);
+                e.row = Some((
+                    row.ip.to_string(),
+                    row.location.country.map(String::from),
+                    row.location.city.to_string(),
+                    row.location.point.lat,
+                    row.location.point.lon,
+                    row.fingerprint.browser.label().to_string(),
+                    row.fingerprint.os.label().to_string(),
+                    via_tor,
+                ));
+            }
+        }
+
+        // Notification counts per cookie.
+        for n in self.collector.all() {
+            let Some(cookie) = n.cookie else { continue };
+            let key = (account_key(n.account), cookie.0);
+            let e = per.entry(key).or_default();
+            let t = n.at.as_secs();
+            e.first = Some(e.first.map_or(t, |f| f.min(t)));
+            e.last = Some(e.last.map_or(t, |l| l.max(t)));
+            match n.kind {
+                NotificationKind::Opened { .. } => e.opened += 1,
+                NotificationKind::Sent { .. } => e.sent += 1,
+                NotificationKind::DraftCopy { .. } => e.drafts += 1,
+                NotificationKind::Starred { .. } => e.starred += 1,
+                NotificationKind::Heartbeat => {}
+            }
+        }
+
+        // Hijack attribution: the last foreign cookie seen on the account
+        // before the scraper noticed the hijack.
+        let hijack_time: HashMap<u32, u64> = self
+            .meta
+            .iter()
+            .filter_map(|m| m.hijack_detected_secs.map(|t| (m.account, t)))
+            .collect();
+        let mut hijacker_of: HashMap<u32, u64> = HashMap::new();
+        for (&(account, cookie), e) in &per {
+            if self.own_cookies.contains(&cookie) {
+                continue;
+            }
+            if let (Some(&ht), Some(last)) = (hijack_time.get(&account), e.last) {
+                if last <= ht {
+                    let slot = hijacker_of.entry(account).or_insert(cookie);
+                    let best_last = per[&(account, *slot)].last.unwrap_or(0);
+                    if last >= best_last {
+                        *slot = cookie;
+                    }
+                }
+            }
+        }
+
+        let mut accesses = Vec::new();
+        for ((account, cookie), e) in per {
+            if self.own_cookies.contains(&cookie) {
+                continue; // the paper removed its own infrastructure's accesses
+            }
+            let (ip, country, city, lat, lon, browser, os, via_tor) = e.row.clone().unwrap_or((
+                "0.0.0.0".to_string(),
+                None,
+                "Unknown".to_string(),
+                0.0,
+                0.0,
+                "Unknown".to_string(),
+                "Unknown".to_string(),
+                false,
+            ));
+            // Paranoid IP-level filter (the paper filtered by IP *and* by
+            // the infrastructure's city).
+            if let Ok(parsed) = ip.parse::<std::net::Ipv4Addr>() {
+                if AddressPlan::is_infra(parsed) {
+                    continue;
+                }
+            }
+            if e.row.is_some() && city == INFRA_CITY && !via_tor {
+                continue;
+            }
+            let first = e.first.unwrap_or(0);
+            let last = e.last.unwrap_or(first);
+            accesses.push(ParsedAccess {
+                account,
+                cookie,
+                first_seen_secs: first,
+                last_seen_secs: last,
+                has_location_row: e.row.is_some(),
+                ip,
+                country,
+                city,
+                lat,
+                lon,
+                browser,
+                os,
+                via_tor,
+                opened: e.opened,
+                sent: e.sent,
+                drafts: e.drafts,
+                starred: e.starred,
+                hijacker: hijacker_of.get(&account) == Some(&cookie),
+            });
+        }
+
+        let opened_texts = self
+            .collector
+            .opened_texts()
+            .into_iter()
+            .map(String::from)
+            .collect();
+
+        Dataset {
+            accesses,
+            accounts: self.meta,
+            opened_texts,
+        }
+    }
+}
+
+fn account_key(a: AccountId) -> u32 {
+    a.0
+}
+
+/// Convenience: timestamp seconds of a [`SimTime`].
+pub fn secs(t: SimTime) -> u64 {
+    t.as_secs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collector::Notification;
+    use pwnd_net::geo::GeoDb;
+    use pwnd_net::tor::TorDirectory;
+    use pwnd_net::useragent::{Browser, Fingerprint, Os};
+    use pwnd_sim::Rng;
+    use pwnd_webmail::activity::ActivityRow;
+
+    fn geolocator() -> Geolocator {
+        let geo = GeoDb::new();
+        let plan = AddressPlan::new(&geo);
+        let mut rng = Rng::seed_from(1);
+        let tor = TorDirectory::generate(50, &mut rng);
+        Geolocator::new(plan, geo, tor)
+    }
+
+    fn row(geo: &Geolocator, cookie: u64, at: u64, country: &str, rng: &mut Rng) -> ActivityRow {
+        let ip = geo.plan().sample_host(country, rng);
+        let loc = geo.locate(ip);
+        ActivityRow {
+            cookie: CookieId(cookie),
+            at: SimTime::from_secs(at),
+            ip,
+            location: loc,
+            fingerprint: Fingerprint {
+                browser: Browser::Chrome,
+                os: Os::Windows,
+            },
+        }
+    }
+
+    fn meta(account: u32) -> AccountRecord {
+        AccountRecord {
+            account,
+            outlet: "paste".into(),
+            advertised_region: None,
+            leaked_at_secs: 0,
+            hijack_detected_secs: None,
+            block_detected_secs: None,
+        }
+    }
+
+    #[test]
+    fn merges_dumps_and_notifications() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(2);
+        let dumps = vec![
+            ActivityDump {
+                account: AccountId(0),
+                at: SimTime::from_secs(100),
+                rows: vec![row(&geo, 7, 50, "BR", &mut rng)],
+            },
+            ActivityDump {
+                account: AccountId(0),
+                at: SimTime::from_secs(200),
+                rows: vec![row(&geo, 7, 150, "BR", &mut rng)],
+            },
+        ];
+        let mut col = NotificationCollector::new();
+        col.receive(Notification {
+            account: AccountId(0),
+            at: SimTime::from_secs(170),
+            cookie: Some(CookieId(7)),
+            kind: NotificationKind::Opened {
+                email: pwnd_corpus::email::EmailId(1),
+                text: "payment info".into(),
+            },
+        });
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_accounts(vec![meta(0)])
+            .build();
+        assert_eq!(ds.accesses.len(), 1);
+        let a = &ds.accesses[0];
+        assert_eq!(a.cookie, 7);
+        assert_eq!(a.first_seen_secs, 50);
+        assert_eq!(a.last_seen_secs, 170);
+        assert_eq!(a.opened, 1);
+        assert_eq!(a.country.as_deref(), Some("BR"));
+        assert_eq!(ds.opened_texts, vec!["payment info".to_string()]);
+    }
+
+    #[test]
+    fn own_cookies_and_infra_are_filtered() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(3);
+        let infra_ip = AddressPlan::sample_infra(&mut rng);
+        let infra_row = ActivityRow {
+            cookie: CookieId(99),
+            at: SimTime::from_secs(10),
+            ip: infra_ip,
+            location: geo.locate(infra_ip),
+            fingerprint: Fingerprint {
+                browser: Browser::Chrome,
+                os: Os::Linux,
+            },
+        };
+        let dumps = vec![ActivityDump {
+            account: AccountId(0),
+            at: SimTime::from_secs(20),
+            rows: vec![infra_row, row(&geo, 5, 15, "US", &mut rng)],
+        }];
+        let col = NotificationCollector::new();
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_own_cookies(&[CookieId(99)])
+            .with_accounts(vec![meta(0)])
+            .build();
+        assert_eq!(ds.accesses.len(), 1);
+        assert_eq!(ds.accesses[0].cookie, 5);
+    }
+
+    #[test]
+    fn infra_city_accesses_dropped_even_with_foreign_cookie() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(4);
+        // A GB host that happens to geolocate to the infra city (London).
+        let mut london_row = None;
+        for _ in 0..500 {
+            let r = row(&geo, 6, 15, "GB", &mut rng);
+            if r.location.city == INFRA_CITY {
+                london_row = Some(r);
+                break;
+            }
+        }
+        let london_row = london_row.expect("London is the heaviest GB city");
+        let dumps = vec![ActivityDump {
+            account: AccountId(0),
+            at: SimTime::from_secs(20),
+            rows: vec![london_row],
+        }];
+        let col = NotificationCollector::new();
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_accounts(vec![meta(0)])
+            .build();
+        assert!(ds.accesses.is_empty());
+    }
+
+    #[test]
+    fn tor_exit_accesses_flagged() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(5);
+        let tor_ip = geo.tor().sample_exit(&mut rng);
+        let tor_row = ActivityRow {
+            cookie: CookieId(8),
+            at: SimTime::from_secs(30),
+            ip: tor_ip,
+            location: geo.locate(tor_ip),
+            fingerprint: Fingerprint {
+                browser: Browser::Unknown,
+                os: Os::Windows,
+            },
+        };
+        let dumps = vec![ActivityDump {
+            account: AccountId(0),
+            at: SimTime::from_secs(40),
+            rows: vec![tor_row],
+        }];
+        let col = NotificationCollector::new();
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_accounts(vec![meta(0)])
+            .build();
+        assert_eq!(ds.accesses.len(), 1);
+        assert!(ds.accesses[0].via_tor);
+        assert_eq!(ds.accesses[0].browser, "Unknown");
+    }
+
+    #[test]
+    fn hijack_attributed_to_last_cookie_before_detection() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(6);
+        let dumps = vec![ActivityDump {
+            account: AccountId(0),
+            at: SimTime::from_secs(300),
+            rows: vec![row(&geo, 1, 50, "US", &mut rng), row(&geo, 2, 200, "RU", &mut rng)],
+        }];
+        let col = NotificationCollector::new();
+        let mut m = meta(0);
+        m.hijack_detected_secs = Some(250);
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_accounts(vec![m])
+            .build();
+        let hijackers: Vec<u64> = ds
+            .accesses
+            .iter()
+            .filter(|a| a.hijacker)
+            .map(|a| a.cookie)
+            .collect();
+        assert_eq!(hijackers, vec![2]);
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(7);
+        let dumps = vec![ActivityDump {
+            account: AccountId(0),
+            at: SimTime::from_secs(20),
+            rows: vec![row(&geo, 5, 15, "DE", &mut rng)],
+        }];
+        let col = NotificationCollector::new();
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_accounts(vec![meta(0)])
+            .build();
+        let json = ds.to_json();
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.accesses, ds.accesses);
+        assert_eq!(back.accounts, ds.accounts);
+    }
+
+    #[test]
+    fn outlet_filtering_and_counts() {
+        let geo = geolocator();
+        let mut rng = Rng::seed_from(8);
+        let dumps = vec![
+            ActivityDump {
+                account: AccountId(0),
+                at: SimTime::from_secs(20),
+                rows: vec![row(&geo, 5, 15, "DE", &mut rng)],
+            },
+            ActivityDump {
+                account: AccountId(1),
+                at: SimTime::from_secs(20),
+                rows: vec![row(&geo, 6, 16, "FR", &mut rng)],
+            },
+        ];
+        let col = NotificationCollector::new();
+        let mut m1 = meta(0);
+        m1.outlet = "malware".into();
+        let ds = DatasetBuilder::new(&geo, &dumps, &col)
+            .with_accounts(vec![m1, meta(1)])
+            .build();
+        assert_eq!(ds.accesses_for_outlet("malware").count(), 1);
+        assert_eq!(ds.accesses_for_outlet("paste").count(), 1);
+        assert_eq!(ds.accounts_with_accesses(), 2);
+    }
+}

@@ -1,0 +1,257 @@
+//! Offline parsing of raw activity-page dumps.
+//!
+//! §3.1: "The scripts navigate to the visitor activity page in each honey
+//! account, and dump the pages to disk, for offline parsing." This module
+//! is that round trip: [`render_page`] serializes a scraped page the way
+//! the dump files store it (one access per line, tab-separated — the
+//! format the paper's parsing scripts consumed), and [`parse_page`]
+//! recovers the structured rows. The dataset builder can consume either
+//! the in-memory rows or re-parsed dumps; a test asserts both paths agree.
+
+use pwnd_net::access::CookieId;
+use pwnd_net::geo::GeoPoint;
+use pwnd_net::geolocate::GeoLocation;
+use pwnd_net::useragent::{Browser, Fingerprint, Os};
+use pwnd_sim::SimTime;
+use pwnd_webmail::activity::ActivityRow;
+use std::net::Ipv4Addr;
+
+/// Magic first line of every dump file.
+pub const DUMP_HEADER: &str = "# honeymail activity dump v1";
+
+/// Render one scraped page to the on-disk dump format.
+pub fn render_page(account: u32, at: SimTime, rows: &[ActivityRow]) -> String {
+    let mut out = String::new();
+    out.push_str(DUMP_HEADER);
+    out.push('\n');
+    out.push_str(&format!("account\t{account}\nscraped_at\t{}\n", at.as_secs()));
+    for r in rows {
+        out.push_str(&format!(
+            "row\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\n",
+            r.cookie.0,
+            r.at.as_secs(),
+            r.ip,
+            r.location.country.unwrap_or("??"),
+            r.location.city,
+            r.location.point.lat,
+            r.location.point.lon,
+            r.fingerprint.browser.label(),
+            r.fingerprint.os.label(),
+        ));
+    }
+    out
+}
+
+/// A parse failure, with the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// A parsed page: account, scrape time, rows.
+#[derive(Debug, Clone)]
+pub struct ParsedPage {
+    /// The scraped account's index.
+    pub account: u32,
+    /// When the scrape ran.
+    pub scraped_at: SimTime,
+    /// The recovered rows.
+    pub rows: Vec<ActivityRow>,
+}
+
+fn browser_from_label(s: &str) -> Browser {
+    Browser::IDENTIFIABLE
+        .iter()
+        .copied()
+        .find(|b| b.label() == s)
+        .unwrap_or(Browser::Unknown)
+}
+
+fn os_from_label(s: &str) -> Os {
+    Os::IDENTIFIABLE
+        .iter()
+        .copied()
+        .find(|o| o.label() == s)
+        .unwrap_or(Os::Unknown)
+}
+
+fn country_from_code(code: &str) -> Option<&'static str> {
+    // Dump files store owned strings; the in-memory model uses the
+    // gazetteer's static names. Recover the static str by lookup.
+    pwnd_net::geo::GeoDb::new()
+        .cities()
+        .iter()
+        .map(|c| c.country)
+        .find(|c| *c == code)
+}
+
+fn city_from_name(name: &str) -> &'static str {
+    pwnd_net::geo::GeoDb::new()
+        .by_name(name)
+        .map(|c| c.name)
+        .unwrap_or("Unknown")
+}
+
+/// Parse a dump file produced by [`render_page`].
+pub fn parse_page(text: &str) -> Result<ParsedPage, ParseError> {
+    let err = |line: usize, reason: &str| ParseError {
+        line,
+        reason: reason.to_string(),
+    };
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l == DUMP_HEADER => {}
+        _ => return Err(err(1, "missing dump header")),
+    }
+    let mut account: Option<u32> = None;
+    let mut scraped_at: Option<SimTime> = None;
+    let mut rows = Vec::new();
+    for (i, line) in lines {
+        let n = i + 1;
+        let mut fields = line.split('\t');
+        match fields.next() {
+            Some("account") => {
+                account = Some(
+                    fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(n, "bad account"))?,
+                );
+            }
+            Some("scraped_at") => {
+                scraped_at = Some(SimTime::from_secs(
+                    fields
+                        .next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(|| err(n, "bad scraped_at"))?,
+                ));
+            }
+            Some("row") => {
+                let parts: Vec<&str> = fields.collect();
+                if parts.len() != 9 {
+                    return Err(err(n, "row needs 9 fields"));
+                }
+                let cookie: u64 = parts[0].parse().map_err(|_| err(n, "bad cookie"))?;
+                let at: u64 = parts[1].parse().map_err(|_| err(n, "bad time"))?;
+                let ip: Ipv4Addr = parts[2].parse().map_err(|_| err(n, "bad ip"))?;
+                let country = if parts[3] == "??" {
+                    None
+                } else {
+                    country_from_code(parts[3])
+                };
+                let lat: f64 = parts[5].parse().map_err(|_| err(n, "bad lat"))?;
+                let lon: f64 = parts[6].parse().map_err(|_| err(n, "bad lon"))?;
+                rows.push(ActivityRow {
+                    cookie: CookieId(cookie),
+                    at: SimTime::from_secs(at),
+                    ip,
+                    location: GeoLocation {
+                        country,
+                        city: city_from_name(parts[4]),
+                        point: GeoPoint { lat, lon },
+                    },
+                    fingerprint: Fingerprint {
+                        browser: browser_from_label(parts[7]),
+                        os: os_from_label(parts[8]),
+                    },
+                });
+            }
+            Some("") | None => continue,
+            Some(other) => return Err(err(n, &format!("unknown record {other}"))),
+        }
+    }
+    Ok(ParsedPage {
+        account: account.ok_or_else(|| err(0, "no account record"))?,
+        scraped_at: scraped_at.ok_or_else(|| err(0, "no scraped_at record"))?,
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_net::geo::GeoDb;
+
+    fn sample_rows() -> Vec<ActivityRow> {
+        let geo = GeoDb::new();
+        let chicago = geo.by_name("Chicago").unwrap();
+        let moscow = geo.by_name("Moscow").unwrap();
+        vec![
+            ActivityRow {
+                cookie: CookieId(7),
+                at: SimTime::from_secs(1_000),
+                ip: "50.2.3.4".parse().unwrap(),
+                location: GeoLocation {
+                    country: Some(chicago.country),
+                    city: chicago.name,
+                    point: chicago.point,
+                },
+                fingerprint: Fingerprint {
+                    browser: Browser::Chrome,
+                    os: Os::Windows,
+                },
+            },
+            ActivityRow {
+                cookie: CookieId(9),
+                at: SimTime::from_secs(2_000),
+                ip: "60.1.1.1".parse().unwrap(),
+                location: GeoLocation {
+                    country: Some(moscow.country),
+                    city: moscow.name,
+                    point: moscow.point,
+                },
+                fingerprint: Fingerprint {
+                    browser: Browser::Unknown,
+                    os: Os::Linux,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip_preserves_rows() {
+        let rows = sample_rows();
+        let text = render_page(42, SimTime::from_secs(3_000), &rows);
+        let parsed = parse_page(&text).unwrap();
+        assert_eq!(parsed.account, 42);
+        assert_eq!(parsed.scraped_at, SimTime::from_secs(3_000));
+        assert_eq!(parsed.rows.len(), 2);
+        for (a, b) in rows.iter().zip(&parsed.rows) {
+            assert_eq!(a.cookie, b.cookie);
+            assert_eq!(a.at, b.at);
+            assert_eq!(a.ip, b.ip);
+            assert_eq!(a.location.country, b.location.country);
+            assert_eq!(a.location.city, b.location.city);
+            assert_eq!(a.fingerprint, b.fingerprint);
+            assert!((a.location.point.lat - b.location.point.lat).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert!(parse_page("account\t1\n").is_err());
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        let bad = format!("{DUMP_HEADER}\naccount\t1\nscraped_at\t5\nrow\tnot-a-number\n");
+        let e = parse_page(&bad).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn rejects_unknown_records() {
+        let bad = format!("{DUMP_HEADER}\nwhatever\tx\n");
+        assert!(parse_page(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_page_parses_with_no_rows() {
+        let text = render_page(5, SimTime::ZERO, &[]);
+        let parsed = parse_page(&text).unwrap();
+        assert!(parsed.rows.is_empty());
+    }
+}

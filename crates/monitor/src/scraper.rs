@@ -1,0 +1,327 @@
+//! The external activity-page scraper.
+//!
+//! Apps Script cannot see login IPs or geolocation, so the paper drove a
+//! browser from the monitoring infrastructure, logged into each honey
+//! account on a schedule, navigated to the visitor-activity page, and
+//! dumped it to disk for offline parsing. The scraper is also how the
+//! researchers *detect* hijacks (its login starts failing) and blocks
+//! (the provider refuses the login with a suspension error).
+
+use pwnd_net::access::{ConnectionInfo, CookieId};
+use pwnd_net::geolocate::INFRA_CITY;
+use pwnd_net::ip::AddressPlan;
+use pwnd_net::useragent::{Browser, ClientConfig, Os};
+use pwnd_sim::{Rng, SimTime};
+use pwnd_webmail::account::AccountId;
+use pwnd_webmail::activity::ActivityRow;
+use pwnd_webmail::service::{LoginError, WebmailService};
+use std::collections::HashMap;
+
+/// Result of one scrape attempt.
+#[derive(Clone, Debug)]
+pub enum ScrapeOutcome {
+    /// Page dumped successfully.
+    Ok(Vec<ActivityRow>),
+    /// Login failed with the researcher password — the account has been
+    /// hijacked (password changed by an attacker).
+    HijackDetected,
+    /// The provider suspended the account.
+    BlockedDetected,
+}
+
+/// One raw page dump, as written to disk for offline parsing.
+#[derive(Clone, Debug)]
+pub struct ActivityDump {
+    /// Which account was scraped.
+    pub account: AccountId,
+    /// When the scrape ran.
+    pub at: SimTime,
+    /// The rows visible at scrape time.
+    pub rows: Vec<ActivityRow>,
+}
+
+/// The scraping driver.
+pub struct Scraper {
+    /// address + password per account, as the researchers recorded them.
+    credentials: HashMap<AccountId, (String, String)>,
+    /// One stable browser cookie per account (the scraper is a device too,
+    /// and its accesses must be filterable from the dataset).
+    cookies: HashMap<AccountId, CookieId>,
+    dumps: Vec<ActivityDump>,
+    /// Fingerprint of each account's last-dumped page, so identical
+    /// consecutive scrapes are not stored twice (offline parsing would
+    /// discard them anyway; a 7-month run scrapes tens of thousands of
+    /// unchanged pages).
+    last_page: HashMap<AccountId, Vec<(u64, u64)>>,
+    hijack_detected: HashMap<AccountId, SimTime>,
+    block_detected: HashMap<AccountId, SimTime>,
+    rng: Rng,
+}
+
+impl Scraper {
+    /// A scraper with its own RNG stream (for infra IP jitter).
+    pub fn new(rng: Rng) -> Scraper {
+        Scraper {
+            credentials: HashMap::new(),
+            cookies: HashMap::new(),
+            dumps: Vec::new(),
+            last_page: HashMap::new(),
+            hijack_detected: HashMap::new(),
+            block_detected: HashMap::new(),
+            rng,
+        }
+    }
+
+    /// Register an account's researcher-held credentials.
+    pub fn register(&mut self, account: AccountId, address: &str, password: &str) {
+        self.credentials
+            .insert(account, (address.to_string(), password.to_string()));
+    }
+
+    /// All registered accounts, in id order.
+    pub fn accounts(&self) -> Vec<AccountId> {
+        let mut v: Vec<AccountId> = self.credentials.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Scrape one account now.
+    pub fn scrape(&mut self, service: &mut WebmailService, account: AccountId, at: SimTime) -> ScrapeOutcome {
+        let (address, password) = self.credentials[&account].clone();
+        let ip = AddressPlan::sample_infra(&mut self.rng);
+        let infra_point = service
+            .geolocator()
+            .geo()
+            .by_name(INFRA_CITY)
+            .expect("infra city")
+            .point;
+        let mut conn = ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Chrome, Os::Linux),
+            infra_point,
+        );
+        if let Some(&cookie) = self.cookies.get(&account) {
+            conn = conn.with_cookie(cookie);
+        }
+        match service.login(&address, &password, &conn, at) {
+            Ok((session, cookie)) => {
+                self.cookies.insert(account, cookie);
+                let rows = service
+                    .read_activity_page(session)
+                    .expect("fresh session reads its own page");
+                // The scraper's own login mutates the page; fingerprint
+                // only foreign rows so quiet accounts dedupe.
+                let fingerprint: Vec<(u64, u64)> = rows
+                    .iter()
+                    .filter(|r| r.cookie != cookie)
+                    .map(|r| (r.cookie.0, r.at.as_secs()))
+                    .collect();
+                if self.last_page.get(&account) != Some(&fingerprint) {
+                    self.last_page.insert(account, fingerprint);
+                    self.dumps.push(ActivityDump {
+                        account,
+                        at,
+                        rows: rows.clone(),
+                    });
+                }
+                ScrapeOutcome::Ok(rows)
+            }
+            Err(LoginError::BadCredentials) => {
+                self.hijack_detected.entry(account).or_insert(at);
+                ScrapeOutcome::HijackDetected
+            }
+            Err(LoginError::AccountBlocked) => {
+                self.block_detected.entry(account).or_insert(at);
+                ScrapeOutcome::BlockedDetected
+            }
+            Err(LoginError::SuspiciousLogin) => {
+                // Infra logins are habitual; this only happens in the
+                // filter-enabled ablation. Treat like a block for data
+                // purposes: the scraper can no longer observe the page.
+                self.block_detected.entry(account).or_insert(at);
+                ScrapeOutcome::BlockedDetected
+            }
+        }
+    }
+
+    /// Scrape every registered account.
+    pub fn scrape_all(&mut self, service: &mut WebmailService, at: SimTime) {
+        for account in self.accounts() {
+            // Once hijacked or blocked there is nothing more to scrape.
+            if self.hijack_detected.contains_key(&account)
+                || self.block_detected.contains_key(&account)
+            {
+                continue;
+            }
+            let _ = self.scrape(service, account, at);
+        }
+    }
+
+    /// All raw dumps (what "offline parsing" consumes).
+    pub fn dumps(&self) -> &[ActivityDump] {
+        &self.dumps
+    }
+
+    /// Render every dump to the on-disk text format (§3.1: "dump the
+    /// pages to disk, for offline parsing").
+    pub fn export_dumps(&self) -> Vec<String> {
+        self.dumps
+            .iter()
+            .map(|d| crate::parser::render_page(d.account.0, d.at, &d.rows))
+            .collect()
+    }
+
+    /// When the scraper first noticed a hijack on each account.
+    pub fn hijacks_detected(&self) -> &HashMap<AccountId, SimTime> {
+        &self.hijack_detected
+    }
+
+    /// When the scraper first noticed a block on each account.
+    pub fn blocks_detected(&self) -> &HashMap<AccountId, SimTime> {
+        &self.block_detected
+    }
+
+    /// The scraper's own cookies (the dataset filter needs them).
+    pub fn own_cookies(&self) -> Vec<CookieId> {
+        let mut v: Vec<CookieId> = self.cookies.values().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_corpus::email::{Email, EmailId, MailTime};
+    use pwnd_net::geo::GeoDb;
+    use pwnd_net::geolocate::Geolocator;
+    use pwnd_net::tor::TorDirectory;
+    use pwnd_sim::SimDuration;
+    use pwnd_webmail::service::ServiceConfig;
+
+    fn world() -> (WebmailService, Scraper, AccountId) {
+        let geo = GeoDb::new();
+        let plan = AddressPlan::new(&geo);
+        let mut rng = Rng::seed_from(3);
+        let tor = TorDirectory::generate(50, &mut rng);
+        let mut svc = WebmailService::new(ServiceConfig::default(), Geolocator::new(plan, geo, tor));
+        let id = svc
+            .create_account(
+                "h@honeymail.example",
+                "pw",
+                std::net::Ipv4Addr::new(198, 51, 0, 1),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        svc.seed_mailbox(
+            id,
+            vec![Email {
+                id: EmailId(1),
+                from: "p@x".into(),
+                to: vec!["h@honeymail.example".into()],
+                subject: "s".into(),
+                body: "b".into(),
+                timestamp: MailTime(-5),
+            }],
+        );
+        let mut scraper = Scraper::new(rng.fork(9));
+        scraper.register(id, "h@honeymail.example", "pw");
+        (svc, scraper, id)
+    }
+
+    #[test]
+    fn scrape_sees_attacker_access() {
+        let (mut svc, mut scraper, id) = world();
+        // Attacker logs in from Brazil.
+        let ip = svc.geolocator().plan().sample_host("BR", &mut Rng::seed_from(1));
+        let loc = svc.geolocator().locate(ip);
+        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Chrome, Os::Windows), loc.point);
+        svc.login("h@honeymail.example", "pw", &conn, SimTime::from_secs(100))
+            .unwrap();
+
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(200)) {
+            ScrapeOutcome::Ok(rows) => {
+                assert!(rows.iter().any(|r| r.location.country == Some("BR")));
+            }
+            other => panic!("expected Ok, got {other:?}"),
+        }
+        assert_eq!(scraper.dumps().len(), 1);
+    }
+
+    #[test]
+    fn scraper_uses_stable_cookie() {
+        let (mut svc, mut scraper, id) = world();
+        scraper.scrape(&mut svc, id, SimTime::from_secs(10));
+        scraper.scrape(&mut svc, id, SimTime::from_secs(20));
+        assert_eq!(scraper.own_cookies().len(), 1);
+    }
+
+    #[test]
+    fn hijack_is_detected_and_scraping_stops() {
+        let (mut svc, mut scraper, id) = world();
+        // Attacker hijacks.
+        let ip = svc.geolocator().plan().sample_host("RO", &mut Rng::seed_from(2));
+        let loc = svc.geolocator().locate(ip);
+        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Opera, Os::Windows), loc.point);
+        let (session, _) = svc
+            .login("h@honeymail.example", "pw", &conn, SimTime::from_secs(50))
+            .unwrap();
+        svc.change_password(session, "stolen", SimTime::from_secs(60)).unwrap();
+
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(100)) {
+            ScrapeOutcome::HijackDetected => {}
+            other => panic!("expected hijack, got {other:?}"),
+        }
+        assert_eq!(
+            scraper.hijacks_detected().get(&id),
+            Some(&SimTime::from_secs(100))
+        );
+        // scrape_all skips it afterwards.
+        let dumps_before = scraper.dumps().len();
+        scraper.scrape_all(&mut svc, SimTime::from_secs(200));
+        assert_eq!(scraper.dumps().len(), dumps_before);
+    }
+
+    #[test]
+    fn block_is_detected() {
+        let (mut svc, mut scraper, id) = world();
+        svc.admin_block(id, SimTime::from_secs(10));
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(20)) {
+            ScrapeOutcome::BlockedDetected => {}
+            other => panic!("expected blocked, got {other:?}"),
+        }
+        assert!(scraper.blocks_detected().contains_key(&id));
+    }
+
+    #[test]
+    fn exported_dumps_reparse_to_the_same_rows() {
+        let (mut svc, mut scraper, id) = world();
+        let ip = svc.geolocator().plan().sample_host("DE", &mut Rng::seed_from(9));
+        let loc = svc.geolocator().locate(ip);
+        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Firefox, Os::Linux), loc.point);
+        svc.login("h@honeymail.example", "pw", &conn, SimTime::from_secs(50))
+            .unwrap();
+        scraper.scrape(&mut svc, id, SimTime::from_secs(100));
+        let texts = scraper.export_dumps();
+        assert_eq!(texts.len(), scraper.dumps().len());
+        for (text, dump) in texts.iter().zip(scraper.dumps()) {
+            let parsed = crate::parser::parse_page(text).expect("dump parses");
+            assert_eq!(parsed.account, dump.account.0);
+            assert_eq!(parsed.scraped_at, dump.at);
+            assert_eq!(parsed.rows.len(), dump.rows.len());
+            for (a, b) in parsed.rows.iter().zip(&dump.rows) {
+                assert_eq!(a.cookie, b.cookie);
+                assert_eq!(a.ip, b.ip);
+                assert_eq!(a.location.city, b.location.city);
+                assert_eq!(a.fingerprint, b.fingerprint);
+            }
+        }
+    }
+
+    #[test]
+    fn scrape_all_covers_registered_accounts() {
+        let (mut svc, mut scraper, _) = world();
+        scraper.scrape_all(&mut svc, SimTime::ZERO + SimDuration::hours(1));
+        assert_eq!(scraper.dumps().len(), 1);
+    }
+}

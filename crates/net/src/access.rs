@@ -1,0 +1,88 @@
+//! Connection-level records: what a webmail login "looks like" on the wire.
+//!
+//! Google labels each unique access with a cookie identifier and exposes
+//! (cookie, time, geolocation, system configuration) rows on the account's
+//! visitor-activity page — the exact data the paper's scrapers harvested.
+//! [`ConnectionInfo`] is the client side of that row; the service adds the
+//! cookie and fingerprint.
+
+use crate::geo::GeoPoint;
+use crate::useragent::ClientConfig;
+use std::fmt;
+use std::net::Ipv4Addr;
+
+/// Google's per-device access cookie. One cookie ≡ one "unique access" in
+/// the paper's terminology (the terms are used interchangeably in §4).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CookieId(pub u64);
+
+impl fmt::Debug for CookieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cookie#{:08x}", self.0)
+    }
+}
+
+impl fmt::Display for CookieId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// Everything the service can observe about one connecting client.
+#[derive(Clone, Debug)]
+pub struct ConnectionInfo {
+    /// Source address of the connection.
+    pub ip: Ipv4Addr,
+    /// The client device's cookie, if it already holds one for this
+    /// service (`None` on a fresh device; the service then issues one).
+    pub cookie: Option<CookieId>,
+    /// The client's user-agent/system configuration.
+    pub client: ClientConfig,
+    /// Ground-truth location of the device. The service never sees this
+    /// directly — it geolocates `ip` — but the simulator carries it so
+    /// tests can verify the geolocation path.
+    pub true_location: GeoPoint,
+}
+
+impl ConnectionInfo {
+    /// A fresh connection without an existing cookie.
+    pub fn new(ip: Ipv4Addr, client: ClientConfig, true_location: GeoPoint) -> ConnectionInfo {
+        ConnectionInfo {
+            ip,
+            cookie: None,
+            client,
+            true_location,
+        }
+    }
+
+    /// The same device connecting again with its issued cookie.
+    pub fn with_cookie(mut self, cookie: CookieId) -> ConnectionInfo {
+        self.cookie = Some(cookie);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::useragent::{Browser, Os};
+
+    #[test]
+    fn cookie_formats() {
+        let c = CookieId(0xdead_beef);
+        assert_eq!(format!("{c:?}"), "cookie#deadbeef");
+        assert_eq!(c.to_string(), "00000000deadbeef");
+    }
+
+    #[test]
+    fn connection_builder() {
+        let conn = ConnectionInfo::new(
+            Ipv4Addr::new(1, 2, 3, 4),
+            ClientConfig::plain(Browser::Chrome, Os::Windows),
+            GeoPoint { lat: 0.0, lon: 0.0 },
+        );
+        assert!(conn.cookie.is_none());
+        let conn = conn.with_cookie(CookieId(7));
+        assert_eq!(conn.cookie, Some(CookieId(7)));
+    }
+}

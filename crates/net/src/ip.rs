@@ -1,0 +1,200 @@
+//! Deterministic IPv4 address planning.
+//!
+//! Real geolocation works because registries allocate address blocks to
+//! national ISPs. We reproduce that: every country in the gazetteer gets a
+//! disjoint set of /16 blocks carved from globally-routable space, plus
+//! dedicated blocks for Tor exits and the monitoring infrastructure (the
+//! paper filters its own infrastructure accesses out of the dataset by IP).
+//!
+//! The plan is a pure function of the country list, so a given experiment
+//! seed always produces the same address-to-country mapping.
+
+use crate::geo::GeoDb;
+use pwnd_sim::Rng;
+use std::collections::BTreeMap;
+use std::net::Ipv4Addr;
+
+/// The /16 used by the researchers' monitoring infrastructure.
+///
+/// All scraper logins originate here and are filtered out of the dataset,
+/// exactly as the paper removes accesses from its own infrastructure.
+pub const INFRA_BLOCK: u8 = 198; // 198.51.x.x (TEST-NET-2 inspired)
+/// Second octet of the infrastructure block.
+pub const INFRA_BLOCK2: u8 = 51;
+
+/// First octet of the block reserved for Tor exit nodes.
+pub const TOR_BLOCK: u8 = 171;
+
+/// Number of /16 blocks allocated per country.
+const BLOCKS_PER_COUNTRY: usize = 4;
+
+/// A deterministic mapping between countries and IPv4 /16 blocks.
+#[derive(Clone, Debug)]
+pub struct AddressPlan {
+    /// country code -> list of (a, b) /16 prefixes.
+    blocks: BTreeMap<&'static str, Vec<(u8, u8)>>,
+    /// (a, b) -> country, the reverse of `blocks`.
+    reverse: BTreeMap<(u8, u8), &'static str>,
+}
+
+impl AddressPlan {
+    /// Build the plan for every country present in the gazetteer.
+    ///
+    /// Blocks are drawn from 1.0.0.0–170.255.0.0 (skipping loopback and
+    /// private ranges), leaving [`TOR_BLOCK`] and [`INFRA_BLOCK`] disjoint
+    /// from all country allocations.
+    pub fn new(geo: &GeoDb) -> AddressPlan {
+        let mut countries: Vec<&'static str> = geo.cities().iter().map(|c| c.country).collect();
+        countries.sort_unstable();
+        countries.dedup();
+
+        let mut blocks = BTreeMap::new();
+        let mut reverse = BTreeMap::new();
+        let mut next: u32 = 0;
+        let mut advance = || -> (u8, u8) {
+            loop {
+                let a = (1 + next / 256) as u8;
+                let b = (next % 256) as u8;
+                next += 1;
+                // Skip loopback (127.x), private 10.x and 172.16-31.x,
+                // and anything at/above the Tor block.
+                let skip = a == 10
+                    || a == 127
+                    || (a == 172 && (16..=31).contains(&b))
+                    || a >= TOR_BLOCK;
+                if !skip {
+                    return (a, b);
+                }
+            }
+        };
+        for country in countries {
+            let mut list = Vec::with_capacity(BLOCKS_PER_COUNTRY);
+            for _ in 0..BLOCKS_PER_COUNTRY {
+                let blk = advance();
+                reverse.insert(blk, country);
+                list.push(blk);
+            }
+            blocks.insert(country, list);
+        }
+        AddressPlan { blocks, reverse }
+    }
+
+    /// Sample a host address inside `country`. Panics if the country is not
+    /// in the plan.
+    pub fn sample_host(&self, country: &str, rng: &mut Rng) -> Ipv4Addr {
+        let list = self
+            .blocks
+            .get(country)
+            .unwrap_or_else(|| panic!("country {country} not in address plan"));
+        let (a, b) = *rng.choose(list);
+        Ipv4Addr::new(a, b, rng.below(256) as u8, (1 + rng.below(254)) as u8)
+    }
+
+    /// Country owning `ip`, if it belongs to a national allocation.
+    pub fn country_of(&self, ip: Ipv4Addr) -> Option<&'static str> {
+        let o = ip.octets();
+        self.reverse.get(&(o[0], o[1])).copied()
+    }
+
+    /// Whether `ip` belongs to the monitoring infrastructure.
+    pub fn is_infra(ip: Ipv4Addr) -> bool {
+        let o = ip.octets();
+        o[0] == INFRA_BLOCK && o[1] == INFRA_BLOCK2
+    }
+
+    /// Sample a monitoring-infrastructure address.
+    pub fn sample_infra(rng: &mut Rng) -> Ipv4Addr {
+        Ipv4Addr::new(
+            INFRA_BLOCK,
+            INFRA_BLOCK2,
+            rng.below(4) as u8,
+            (1 + rng.below(254)) as u8,
+        )
+    }
+
+    /// Whether `ip` sits in the Tor exit block. (The authoritative check is
+    /// [`crate::tor::TorDirectory::is_exit`]; this is the allocation-level
+    /// invariant.)
+    pub fn in_tor_block(ip: Ipv4Addr) -> bool {
+        ip.octets()[0] == TOR_BLOCK
+    }
+
+    /// All countries in the plan, sorted.
+    pub fn countries(&self) -> Vec<&'static str> {
+        self.blocks.keys().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> AddressPlan {
+        AddressPlan::new(&GeoDb::new())
+    }
+
+    #[test]
+    fn roundtrip_country_of_sampled_host() {
+        let p = plan();
+        let mut rng = Rng::seed_from(1);
+        for country in p.countries() {
+            for _ in 0..20 {
+                let ip = p.sample_host(country, &mut rng);
+                assert_eq!(p.country_of(ip), Some(country), "ip {ip}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocations_are_disjoint() {
+        let p = plan();
+        let mut seen = std::collections::HashSet::new();
+        for country in p.countries() {
+            for blk in &p.blocks[country] {
+                assert!(seen.insert(*blk), "block {blk:?} allocated twice");
+            }
+        }
+    }
+
+    #[test]
+    fn reserved_blocks_never_allocated() {
+        let p = plan();
+        for &(a, b) in p.reverse.keys() {
+            assert_ne!(a, 10);
+            assert_ne!(a, 127);
+            assert!(!(a == 172 && (16..=31).contains(&b)));
+            assert!(a < TOR_BLOCK);
+            assert!(!(a == INFRA_BLOCK && b == INFRA_BLOCK2));
+        }
+    }
+
+    #[test]
+    fn infra_detection() {
+        let mut rng = Rng::seed_from(2);
+        let ip = AddressPlan::sample_infra(&mut rng);
+        assert!(AddressPlan::is_infra(ip));
+        assert!(!AddressPlan::is_infra(Ipv4Addr::new(8, 8, 8, 8)));
+        assert_eq!(plan().country_of(ip), None);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let p1 = plan();
+        let p2 = plan();
+        assert_eq!(p1.countries(), p2.countries());
+        for c in p1.countries() {
+            assert_eq!(p1.blocks[c], p2.blocks[c]);
+        }
+    }
+
+    #[test]
+    fn host_addresses_avoid_network_and_broadcast_last_octet() {
+        let p = plan();
+        let mut rng = Rng::seed_from(3);
+        for _ in 0..500 {
+            let ip = p.sample_host("US", &mut rng);
+            let last = ip.octets()[3];
+            assert!((1..=254).contains(&last));
+        }
+    }
+}

@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # pwnd-net — the synthetic Internet substrate
+//!
+//! The paper's analyses consume five network-level signals about each
+//! access to a honey account:
+//!
+//! 1. the **origin IP address** and the country/city Google's geolocation
+//!    maps it to (Figures 6a/6b, the Cramér–von Mises test, "29 countries"),
+//! 2. whether the IP is a **Tor exit node** (132 of 326 accesses),
+//! 3. whether the IP appears in the **Spamhaus blacklist** (20 addresses),
+//! 4. the **browser** fingerprint, including deliberately hidden/empty
+//!    user agents (Figure 5a),
+//! 5. the **operating system** fingerprint (Figure 5b).
+//!
+//! This crate models exactly that surface: a deterministic IPv4 address
+//! plan partitioned per country ([`ip::AddressPlan`]), a world gazetteer
+//! with great-circle distances ([`geo`]), a Tor exit directory
+//! ([`tor::TorDirectory`]), a DNSBL with listing dynamics
+//! ([`dnsbl::Blacklist`]), and a user-agent catalog plus the
+//! server-side fingerprinting that attackers evade by presenting empty
+//! user agents ([`useragent`]).
+//!
+//! Nothing here speaks real wire protocols; the simulation is event-level,
+//! which is the level the paper's monitoring infrastructure observed.
+
+pub mod access;
+pub mod dnsbl;
+pub mod geo;
+pub mod geolocate;
+pub mod ip;
+pub mod tor;
+pub mod useragent;
+
+pub use access::{ConnectionInfo, CookieId};
+pub use geo::{haversine_km, City, GeoDb, GeoPoint};
+pub use geolocate::{GeoLocation, Geolocator};
+pub use ip::AddressPlan;
+pub use tor::TorDirectory;
+pub use useragent::{Browser, ClientConfig, Fingerprint, Os};

@@ -1,0 +1,84 @@
+//! Property-based tests for the network substrate.
+
+use proptest::prelude::*;
+use pwnd_net::geo::{haversine_km, GeoDb, GeoPoint};
+use pwnd_net::ip::AddressPlan;
+use pwnd_net::tor::TorDirectory;
+use pwnd_net::useragent::{parse_browser, parse_os, render_user_agent, Browser, Os};
+use pwnd_sim::Rng;
+use std::net::Ipv4Addr;
+
+fn lat() -> impl Strategy<Value = f64> {
+    -89.0..89.0f64
+}
+fn lon() -> impl Strategy<Value = f64> {
+    -180.0..180.0f64
+}
+
+proptest! {
+    /// Haversine is a metric (up to numerical noise): non-negative,
+    /// symmetric, zero on the diagonal, triangle inequality.
+    #[test]
+    fn haversine_is_a_metric(la in lat(), lo in lon(), lb in lat(), ob in lon(), lc in lat(), oc in lon()) {
+        let a = GeoPoint { lat: la, lon: lo };
+        let b = GeoPoint { lat: lb, lon: ob };
+        let c = GeoPoint { lat: lc, lon: oc };
+        let ab = haversine_km(a, b);
+        let ba = haversine_km(b, a);
+        let ac = haversine_km(a, c);
+        let cb = haversine_km(c, b);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+        prop_assert!(haversine_km(a, a) < 1e-9);
+        prop_assert!(ab <= ac + cb + 1e-6, "triangle: {ab} > {ac} + {cb}");
+        // Upper bound: half the Earth's circumference.
+        prop_assert!(ab <= 20_038.0);
+    }
+
+    /// Every host the plan samples maps back to its own country, and
+    /// never collides with Tor or infra space.
+    #[test]
+    fn address_plan_roundtrips(seed in any::<u64>()) {
+        let geo = GeoDb::new();
+        let plan = AddressPlan::new(&geo);
+        let mut rng = Rng::seed_from(seed);
+        let countries = plan.countries();
+        for _ in 0..16 {
+            let country = *rng.choose(&countries);
+            let ip = plan.sample_host(country, &mut rng);
+            prop_assert_eq!(plan.country_of(ip), Some(country));
+            prop_assert!(!AddressPlan::is_infra(ip));
+            prop_assert!(!AddressPlan::in_tor_block(ip));
+        }
+    }
+
+    /// UA render → parse is the identity on (browser, os) for all
+    /// identifiable pairs.
+    #[test]
+    fn user_agent_roundtrip(bi in 0usize..7, oi in 0usize..5) {
+        let browser = Browser::IDENTIFIABLE[bi];
+        let os = Os::IDENTIFIABLE[oi];
+        let ua = render_user_agent(browser, os);
+        prop_assert_eq!(parse_browser(&ua), browser);
+        prop_assert_eq!(parse_os(&ua), os);
+    }
+
+    /// Parsing arbitrary garbage never panics and yields *some* label.
+    #[test]
+    fn parser_is_total(s in ".{0,120}") {
+        let _ = parse_browser(&s);
+        let _ = parse_os(&s);
+    }
+
+    /// Tor exit membership is consistent: sampled exits are recognized,
+    /// and arbitrary non-Tor-block addresses are not.
+    #[test]
+    fn tor_membership_consistent(seed in any::<u64>(), a in 1u8..170, b in any::<u8>(), c in any::<u8>(), d in 1u8..255) {
+        let mut rng = Rng::seed_from(seed);
+        let dir = TorDirectory::generate(64, &mut rng);
+        let exit = dir.sample_exit(&mut rng);
+        prop_assert!(dir.is_exit(exit));
+        let outside = Ipv4Addr::new(a, b, c, d);
+        prop_assert!(!dir.is_exit(outside), "{outside} misclassified");
+    }
+}

@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! # pwnd-sim — deterministic discrete-event simulation substrate
+//!
+//! Every experiment in this workspace runs on a deterministic, event-driven
+//! simulation: no wall clock, no OS randomness, no global state. A full
+//! seven-month honey-account deployment replays in milliseconds and is
+//! bit-for-bit reproducible from a single `u64` seed.
+//!
+//! The crate provides four building blocks:
+//!
+//! * [`SimTime`] / [`SimDuration`] — a second-granularity simulation clock
+//!   anchored at the experiment epoch (the paper's 25 June 2015 start date),
+//!   with calendar helpers for day indices and human-readable rendering.
+//! * [`rng::Rng`] — a self-contained xoshiro256++ generator. We deliberately
+//!   do not depend on the `rand` crate for simulation randomness so that a
+//!   seed reproduces the same world across `rand` major versions.
+//! * [`dist`] — the distributions the attacker and arrival models need:
+//!   exponential, log-normal, Pareto, normal, categorical, Zipf, and a
+//!   non-homogeneous Poisson arrival helper.
+//! * [`event::EventQueue`] — a stable priority queue of timestamped events
+//!   (FIFO among equal timestamps), the heart of the experiment driver.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pwnd_sim::{SimTime, SimDuration, event::EventQueue, rng::Rng};
+//!
+//! let mut rng = Rng::seed_from(42);
+//! let mut q: EventQueue<&'static str> = EventQueue::new();
+//! q.schedule(SimTime::ZERO + SimDuration::hours(2), "scrape");
+//! q.schedule(SimTime::ZERO + SimDuration::minutes(5), "login");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!(ev, "login");
+//! assert_eq!(t.as_secs(), 300);
+//! let jitter = rng.range_f64(0.0, 1.0);
+//! assert!((0.0..1.0).contains(&jitter));
+//! ```
+
+pub mod dist;
+pub mod event;
+pub mod rng;
+pub mod time;
+
+pub use event::EventQueue;
+pub use rng::Rng;
+pub use time::{SimDuration, SimTime};

@@ -1,0 +1,337 @@
+//! Simulation clock: [`SimTime`] instants and [`SimDuration`] spans.
+//!
+//! Time is measured in whole seconds since the *experiment epoch*. The
+//! paper's observation window ran from 25 June 2015 to 16 February 2016
+//! (236 days); [`SimTime::ZERO`] corresponds to the leak day, 25 June 2015.
+//! Calendar rendering is Gregorian and epoch-anchored so that dataset dumps
+//! match the paper's date notation without depending on the host clock.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant on the simulation clock, in seconds since the experiment epoch.
+///
+/// `SimTime` is a transparent `u64`; it orders, hashes, and copies cheaply.
+/// The epoch (second 0) is 25 June 2015 00:00:00 UTC, the day the paper's
+/// credentials were first leaked.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span between two [`SimTime`] instants, in whole seconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The experiment epoch: 25 June 2015 00:00:00 UTC.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from raw seconds since the epoch.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime(secs)
+    }
+
+    /// Seconds since the epoch.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Whole days elapsed since the epoch (day 0 is the leak day).
+    pub const fn day_index(self) -> u64 {
+        self.0 / SimDuration::SECS_PER_DAY
+    }
+
+    /// Fractional days since the epoch, for plotting.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / SimDuration::SECS_PER_DAY as f64
+    }
+
+    /// Seconds into the current day (0..86400).
+    pub const fn second_of_day(self) -> u64 {
+        self.0 % SimDuration::SECS_PER_DAY
+    }
+
+    /// Hour of the current day (0..24), useful for diurnal activity models.
+    pub const fn hour_of_day(self) -> u64 {
+        self.second_of_day() / 3600
+    }
+
+    /// Elapsed span since `earlier`. Saturates at zero if `earlier` is later,
+    /// which keeps duration arithmetic total (the monitor occasionally
+    /// observes reordered notifications).
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Calendar date for this instant, anchored at 2015-06-25.
+    pub fn date(self) -> CalendarDate {
+        CalendarDate::from_day_index(self.day_index())
+    }
+
+    /// Saturating addition, for schedules that may overshoot the horizon.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+}
+
+impl SimDuration {
+    /// Seconds in a day.
+    pub const SECS_PER_DAY: u64 = 86_400;
+
+    /// The zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs)
+    }
+
+    /// `n` minutes.
+    pub const fn minutes(n: u64) -> Self {
+        SimDuration(n * 60)
+    }
+
+    /// `n` hours.
+    pub const fn hours(n: u64) -> Self {
+        SimDuration(n * 3600)
+    }
+
+    /// `n` days.
+    pub const fn days(n: u64) -> Self {
+        SimDuration(n * Self::SECS_PER_DAY)
+    }
+
+    /// Whole seconds in this span.
+    pub const fn as_secs(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional minutes in this span.
+    pub fn as_minutes_f64(self) -> f64 {
+        self.0 as f64 / 60.0
+    }
+
+    /// Fractional hours in this span.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3600.0
+    }
+
+    /// Fractional days in this span.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / Self::SECS_PER_DAY as f64
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest second.
+    /// Negative inputs clamp to zero (arrival samplers can produce tiny
+    /// negative values through floating-point error).
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs.is_nan() || secs <= 0.0 {
+            SimDuration(0)
+        } else {
+            SimDuration(secs.round().min(u64::MAX as f64) as u64)
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add<SimDuration> for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T+{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.date();
+        let s = self.second_of_day();
+        write!(
+            f,
+            "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+            d.year,
+            d.month,
+            d.day,
+            s / 3600,
+            (s % 3600) / 60,
+            s % 60
+        )
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}s", self.0)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s >= SimDuration::SECS_PER_DAY {
+            write!(f, "{:.1}d", self.as_days_f64())
+        } else if s >= 3600 {
+            write!(f, "{:.1}h", self.as_hours_f64())
+        } else if s >= 60 {
+            write!(f, "{:.1}m", self.as_minutes_f64())
+        } else {
+            write!(f, "{s}s")
+        }
+    }
+}
+
+/// A Gregorian calendar date, produced by [`SimTime::date`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Hash)]
+pub struct CalendarDate {
+    /// Four-digit year.
+    pub year: u32,
+    /// Month, 1–12.
+    pub month: u32,
+    /// Day of month, 1-based.
+    pub day: u32,
+}
+
+const DAYS_IN_MONTH: [u32; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(year: u32) -> bool {
+    (year.is_multiple_of(4) && !year.is_multiple_of(100)) || year.is_multiple_of(400)
+}
+
+impl CalendarDate {
+    /// The experiment epoch date.
+    pub const EPOCH: CalendarDate = CalendarDate {
+        year: 2015,
+        month: 6,
+        day: 25,
+    };
+
+    /// Date `day_index` whole days after the epoch (2015-06-25).
+    pub fn from_day_index(day_index: u64) -> CalendarDate {
+        let mut year = Self::EPOCH.year;
+        let mut month = Self::EPOCH.month;
+        let mut day = Self::EPOCH.day;
+        let mut remaining = day_index;
+        while remaining > 0 {
+            let dim = if month == 2 && is_leap(year) {
+                29
+            } else {
+                DAYS_IN_MONTH[(month - 1) as usize]
+            };
+            let left_in_month = (dim - day) as u64;
+            if remaining > left_in_month {
+                remaining -= left_in_month + 1;
+                day = 1;
+                month += 1;
+                if month > 12 {
+                    month = 1;
+                    year += 1;
+                }
+            } else {
+                day += remaining as u32;
+                remaining = 0;
+            }
+        }
+        CalendarDate { year, month, day }
+    }
+}
+
+impl fmt::Display for CalendarDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_leak_day() {
+        assert_eq!(SimTime::ZERO.date(), CalendarDate::EPOCH);
+        assert_eq!(SimTime::ZERO.date().to_string(), "2015-06-25");
+    }
+
+    #[test]
+    fn day_index_and_seconds_roundtrip() {
+        let t = SimTime::from_secs(3 * 86_400 + 7_200);
+        assert_eq!(t.day_index(), 3);
+        assert_eq!(t.second_of_day(), 7_200);
+        assert_eq!(t.hour_of_day(), 2);
+    }
+
+    #[test]
+    fn paper_observation_end_date() {
+        // The paper monitored until 16 February 2016: 236 days after epoch.
+        let end = SimTime::ZERO + SimDuration::days(236);
+        assert_eq!(end.date().to_string(), "2016-02-16");
+    }
+
+    #[test]
+    fn crosses_year_boundary() {
+        // 2015-06-25 + 190 days = 2016-01-01.
+        let t = SimTime::ZERO + SimDuration::days(190);
+        assert_eq!(t.date().to_string(), "2016-01-01");
+    }
+
+    #[test]
+    fn leap_february_2016() {
+        // 2016 is a leap year; 2015-06-25 + 249 days = 2016-02-29.
+        let t = SimTime::ZERO + SimDuration::days(249);
+        assert_eq!(t.date().to_string(), "2016-02-29");
+        let next = SimTime::ZERO + SimDuration::days(250);
+        assert_eq!(next.date().to_string(), "2016-03-01");
+    }
+
+    #[test]
+    fn duration_arithmetic_saturates() {
+        let early = SimTime::from_secs(10);
+        let late = SimTime::from_secs(50);
+        assert_eq!((late - early).as_secs(), 40);
+        assert_eq!((early - late).as_secs(), 0);
+    }
+
+    #[test]
+    fn duration_constructors() {
+        assert_eq!(SimDuration::minutes(2).as_secs(), 120);
+        assert_eq!(SimDuration::hours(2).as_secs(), 7200);
+        assert_eq!(SimDuration::days(2).as_secs(), 172_800);
+        assert_eq!(SimDuration::from_secs_f64(1.4).as_secs(), 1);
+        assert_eq!(SimDuration::from_secs_f64(-3.0).as_secs(), 0);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN).as_secs(), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_secs(30).to_string(), "30s");
+        assert_eq!(SimDuration::minutes(5).to_string(), "5.0m");
+        assert_eq!(SimDuration::hours(3).to_string(), "3.0h");
+        assert_eq!(SimDuration::days(12).to_string(), "12.0d");
+        assert_eq!(
+            (SimTime::ZERO + SimDuration::hours(1)).to_string(),
+            "2015-06-25 01:00:00"
+        );
+    }
+}

@@ -1,0 +1,119 @@
+//! Account records and lifecycle.
+
+use pwnd_sim::SimTime;
+use std::fmt;
+
+/// Service-internal account identifier.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AccountId(pub u32);
+
+impl fmt::Debug for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "acct#{}", self.0)
+    }
+}
+
+impl fmt::Display for AccountId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Lifecycle state of an account.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccountState {
+    /// Normal operation.
+    Active,
+    /// Suspended by the abuse detector; logins fail, scripts stop running.
+    /// The paper: "42 accounts were blocked by Google during the course of
+    /// the experiment, due to suspicious activity."
+    Blocked {
+        /// When the block was applied.
+        at: SimTime,
+    },
+}
+
+impl AccountState {
+    /// Whether the account accepts logins and runs scripts.
+    pub fn is_active(self) -> bool {
+        matches!(self, AccountState::Active)
+    }
+}
+
+/// One webmail account.
+#[derive(Clone, Debug)]
+pub struct Account {
+    /// Identifier.
+    pub id: AccountId,
+    /// Login address, e.g. `james.smith@honeymail.example`.
+    pub address: String,
+    /// Current password.
+    pub password: String,
+    /// The original password the researchers set. A mismatch with
+    /// `password` means the account has been hijacked.
+    pub original_password: String,
+    /// Lifecycle state.
+    pub state: AccountState,
+    /// When the account was created.
+    pub created_at: SimTime,
+    /// Send-from override: when set, *all* outbound mail is diverted to
+    /// this address's mail route (the researchers point it at the
+    /// sinkhole). `None` means normal delivery.
+    pub send_from_override: Option<String>,
+    /// Number of password changes since creation.
+    pub password_changes: u32,
+    /// When the password last changed (hijack time, for ground truth).
+    pub last_password_change: Option<SimTime>,
+}
+
+impl Account {
+    /// Whether the password differs from the one the researchers set.
+    pub fn is_hijacked(&self) -> bool {
+        self.password != self.original_password
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acct() -> Account {
+        Account {
+            id: AccountId(3),
+            address: "a@honeymail.example".into(),
+            password: "hunter2222".into(),
+            original_password: "hunter2222".into(),
+            state: AccountState::Active,
+            created_at: SimTime::ZERO,
+            send_from_override: None,
+            password_changes: 0,
+            last_password_change: None,
+        }
+    }
+
+    #[test]
+    fn fresh_account_not_hijacked() {
+        let a = acct();
+        assert!(!a.is_hijacked());
+        assert!(a.state.is_active());
+    }
+
+    #[test]
+    fn password_change_marks_hijack() {
+        let mut a = acct();
+        a.password = "attacker-owned".into();
+        assert!(a.is_hijacked());
+    }
+
+    #[test]
+    fn blocked_state_is_inactive() {
+        let s = AccountState::Blocked { at: SimTime::ZERO };
+        assert!(!s.is_active());
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(format!("{:?}", AccountId(9)), "acct#9");
+        assert_eq!(AccountId(9).to_string(), "9");
+    }
+}

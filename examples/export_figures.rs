@@ -1,0 +1,24 @@
+//! Export every figure's raw data as CSV, ready for plotting.
+//!
+//! ```text
+//! cargo run --release --example export_figures [seed] [out_dir]
+//! ```
+
+use pwnd::analysis::export::figures_to_csv;
+use pwnd::{Experiment, ExperimentConfig};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(2016);
+    let dir = args.next().unwrap_or_else(|| "figures".to_string());
+
+    let out = Experiment::new(ExperimentConfig::paper(seed)).run();
+    let analysis = out.analysis();
+    std::fs::create_dir_all(&dir).expect("create output dir");
+    for file in figures_to_csv(&analysis) {
+        let path = format!("{dir}/{}", file.name);
+        std::fs::write(&path, &file.contents).expect("write csv");
+        println!("wrote {path} ({} rows)", file.contents.lines().count() - 1);
+    }
+    println!("\nplot e.g. with gnuplot/python; fig6_distances.csv carries the raw CvM inputs");
+}

@@ -1,0 +1,136 @@
+//! Seed sweep: run the paper experiment across several seeds and print
+//! the mean and range of every headline statistic next to the paper's
+//! value — the calibration harness behind EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run --release --example seed_sweep [n_seeds]
+//! ```
+
+use pwnd::analysis::figures;
+use pwnd::analysis::tables::{origin_stats, overview};
+use pwnd::{Experiment, ExperimentConfig};
+
+struct Series {
+    name: &'static str,
+    paper: f64,
+    values: Vec<f64>,
+}
+
+impl Series {
+    fn new(name: &'static str, paper: f64) -> Series {
+        Series {
+            name,
+            paper,
+            values: Vec::new(),
+        }
+    }
+    fn print(&self) {
+        let n = self.values.len() as f64;
+        let mean = self.values.iter().sum::<f64>() / n;
+        let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "{:<28} paper {:>8.2}   mean {:>8.2}   range [{:>7.2}, {:>7.2}]",
+            self.name, self.paper, mean, lo, hi
+        );
+    }
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(8);
+
+    let mut series = vec![
+        Series::new("unique accesses", 326.0),
+        Series::new("emails opened", 147.0),
+        Series::new("emails sent", 845.0),
+        Series::new("drafts composed", 12.0),
+        Series::new("accounts accessed", 90.0),
+        Series::new("paste accesses", 144.0),
+        Series::new("forum accesses", 125.0),
+        Series::new("malware accesses", 57.0),
+        Series::new("accounts blocked", 42.0),
+        Series::new("accounts hijacked", 36.0),
+        Series::new("tor accesses", 132.0),
+        Series::new("countries", 29.0),
+        Series::new("blacklisted ips", 20.0),
+        Series::new("paste F(25d)", 0.80),
+        Series::new("forum F(25d)", 0.60),
+        Series::new("malware F(25d)", 0.40),
+        Series::new("fig1 paste hijacker", 0.20),
+        Series::new("fig1 forum gold digger", 0.30),
+        Series::new("fig6 paste UK loc km", 1400.0),
+        Series::new("fig6 paste UK noloc km", 1784.0),
+        Series::new("fig6 paste US loc km", 939.0),
+        Series::new("fig6 paste US noloc km", 7900.0),
+        Series::new("cvm paste rejects (of 2)", 2.0),
+        Series::new("cvm forum rejects (of 2)", 0.0),
+    ];
+
+    for seed in 0..n {
+        let out = Experiment::new(ExperimentConfig::paper(1000 + seed)).run();
+        let ds = &out.dataset;
+        let ov = overview(ds);
+        let org = origin_stats(ds, Some(&out.blacklist));
+        let f1 = figures::fig1(ds);
+        let f3 = figures::fig3(ds);
+        let f6 = figures::fig6(ds);
+        let cvm = figures::cvm_tests(&f6);
+
+        let get = |o: &str| ov.accesses_by_outlet.get(o).copied().unwrap_or(0) as f64;
+        let f25 = |o: &str| {
+            f3.series
+                .iter()
+                .find(|(name, _)| name == o)
+                .map(|(_, e)| e.eval(25.0))
+                .unwrap_or(f64::NAN)
+        };
+        let fig6_median = |outlet: &str, region: &str, with_loc: bool| {
+            f6.iter()
+                .find(|c| c.outlet == outlet && c.region == region && c.with_location == with_loc)
+                .and_then(|c| c.median_km)
+                .unwrap_or(f64::NAN)
+        };
+        let rejects = |outlet: &str| {
+            cvm.iter()
+                .filter(|t| t.label.starts_with(outlet) && t.rejected)
+                .count() as f64
+        };
+        let vals = [
+            ov.total_accesses as f64,
+            ov.emails_opened as f64,
+            ov.emails_sent as f64,
+            ov.drafts_created as f64,
+            ov.accounts_accessed as f64,
+            get("paste"),
+            get("forum"),
+            get("malware"),
+            ov.accounts_blocked as f64,
+            ov.accounts_hijacked as f64,
+            org.tor_total as f64,
+            org.countries as f64,
+            org.blacklisted_ips as f64,
+            f25("paste"),
+            f25("forum"),
+            f25("malware"),
+            f1.rows.iter().find(|r| r.0 == "paste").map(|r| r.1[2]).unwrap_or(0.0),
+            f1.rows.iter().find(|r| r.0 == "forum").map(|r| r.1[1]).unwrap_or(0.0),
+            fig6_median("paste", "UK", true),
+            fig6_median("paste", "UK", false),
+            fig6_median("paste", "US", true),
+            fig6_median("paste", "US", false),
+            rejects("paste"),
+            rejects("forum"),
+        ];
+        for (s, v) in series.iter_mut().zip(vals) {
+            s.values.push(v);
+        }
+        eprintln!("seed {} done", 1000 + seed);
+    }
+    println!("\n=== calibration sweep over {n} seeds ===");
+    for s in &series {
+        s.print();
+    }
+}

@@ -1,0 +1,170 @@
+//! `pwnd` — command-line front end for the honey-account testbed.
+//!
+//! ```text
+//! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys]   full evaluation report
+//! pwnd export  [--seed N] [--out FILE]                         dataset JSON
+//! pwnd sweep   [--seeds N]                                     headline stats across seeds
+//! pwnd leaks   [--seed N]                                      the leak plan actually executed
+//! pwnd truth   [--seed N]                                      ground-truth vs observed audit
+//! ```
+
+use pwnd::analysis::tables::overview;
+use pwnd::{Experiment, ExperimentConfig};
+use std::process::ExitCode;
+
+struct Args {
+    seed: u64,
+    quick: bool,
+    filter_on: bool,
+    decoys: bool,
+    out: String,
+    seeds: u64,
+}
+
+fn parse(mut argv: std::env::Args) -> Option<(String, Args)> {
+    let _bin = argv.next();
+    let command = argv.next()?;
+    let mut args = Args {
+        seed: 2016,
+        quick: false,
+        filter_on: false,
+        decoys: false,
+        out: "dataset.json".to_string(),
+        seeds: 8,
+    };
+    let rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--seed" => {
+                args.seed = rest.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--out" => {
+                args.out = rest.get(i + 1)?.clone();
+                i += 2;
+            }
+            "--seeds" => {
+                args.seeds = rest.get(i + 1)?.parse().ok()?;
+                i += 2;
+            }
+            "--quick" => {
+                args.quick = true;
+                i += 1;
+            }
+            "--filter-on" => {
+                args.filter_on = true;
+                i += 1;
+            }
+            "--decoys" => {
+                args.decoys = true;
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown flag: {other}");
+                return None;
+            }
+        }
+    }
+    Some((command, args))
+}
+
+fn config_of(a: &Args) -> ExperimentConfig {
+    let mut cfg = if a.quick {
+        ExperimentConfig::quick(a.seed)
+    } else {
+        ExperimentConfig::paper(a.seed)
+    };
+    cfg.login_filter_enabled = a.filter_on;
+    cfg.seed_decoys = a.decoys;
+    cfg
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: pwnd <run|export|sweep|leaks|truth> [--seed N] [--quick] \
+         [--filter-on] [--decoys] [--out FILE] [--seeds N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let Some((command, args)) = parse(std::env::args()) else {
+        return usage();
+    };
+    match command.as_str() {
+        "run" => {
+            let out = Experiment::new(config_of(&args)).run();
+            println!("{}", out.analysis().render());
+        }
+        "export" => {
+            let out = Experiment::new(config_of(&args)).run();
+            let json = out.dataset_json();
+            if std::fs::write(&args.out, &json).is_err() {
+                eprintln!("cannot write {}", args.out);
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "wrote {} ({} accesses, {} KiB)",
+                args.out,
+                out.dataset.accesses.len(),
+                json.len() / 1024
+            );
+        }
+        "sweep" => {
+            println!(
+                "{:<6} {:>9} {:>7} {:>6} {:>8} {:>8} {:>9}",
+                "seed", "accesses", "opened", "sent", "blocked", "hijacked", "accounts"
+            );
+            for s in 0..args.seeds {
+                let mut cfg = config_of(&args);
+                cfg.seed = 1000 + s;
+                let out = Experiment::new(cfg).run();
+                let ov = overview(&out.dataset);
+                println!(
+                    "{:<6} {:>9} {:>7} {:>6} {:>8} {:>8} {:>9}",
+                    1000 + s,
+                    ov.total_accesses,
+                    ov.emails_opened,
+                    ov.emails_sent,
+                    ov.accounts_blocked,
+                    ov.accounts_hijacked,
+                    ov.accounts_accessed
+                );
+            }
+            println!("paper: 326 accesses, 147 opened, 845 sent, 42 blocked, 36 hijacked, 90 accounts");
+        }
+        "leaks" => {
+            let out = Experiment::new(config_of(&args)).run();
+            println!("{:<5} {:<8} {:<24} {:<10} content", "acct", "outlet", "site", "day");
+            for l in &out.leaks {
+                println!(
+                    "{:<5} {:<8} {:<24} {:<10.1} {}",
+                    l.account,
+                    l.kind.label(),
+                    l.site,
+                    l.at.as_days_f64(),
+                    l.content.render()
+                );
+            }
+        }
+        "truth" => {
+            let out = Experiment::new(config_of(&args)).run();
+            let gt = &out.ground_truth;
+            println!("attempted accesses : {}", gt.attempted_accesses);
+            println!("observed accesses  : {}", out.dataset.accesses.len());
+            println!("hijacked (truth)   : {}", gt.hijacked_accounts.len());
+            println!("blocked (truth)    : {}", gt.blocked_accounts.len());
+            println!("sinkholed messages : {}", gt.sinkholed_messages);
+            println!("scripts deleted    : {}", gt.scripts_deleted.len());
+            println!("quota notices      : {}", gt.quota_notices_delivered);
+            println!("forum inquiries    : {}", gt.inquiries.len());
+            let mut q = gt.searched_queries.clone();
+            q.sort_unstable();
+            q.dedup();
+            println!("distinct queries   : {q:?}");
+        }
+        _ => return usage(),
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # pwnd — honey webmail accounts, end to end
+//!
+//! A full reproduction of *"What Happens After You Are Pwnd:
+//! Understanding the Use of Leaked Webmail Credentials in the Wild"*
+//! (Onaolapo, Mariconti, Stringhini — IMC 2016) as a deterministic Rust
+//! simulation testbed: the webmail service, the Apps-Script-style
+//! monitoring, the leak outlets (paste sites, underground forums,
+//! information-stealing malware), a calibrated criminal population, and
+//! the paper's complete analysis pipeline.
+//!
+//! This facade crate re-exports every subsystem under one roof:
+//!
+//! | module | crate | what it is |
+//! |---|---|---|
+//! | [`sim`] | `pwnd-sim` | discrete-event engine, deterministic RNG |
+//! | [`net`] | `pwnd-net` | IP plan, geolocation, Tor, DNSBL, user agents |
+//! | [`corpus`] | `pwnd-corpus` | personas + synthetic Enron-like corpus |
+//! | [`webmail`] | `pwnd-webmail` | the Gmail-like service simulator |
+//! | [`monitor`] | `pwnd-monitor` | scripts, scraper, the published dataset |
+//! | [`leak`] | `pwnd-leak` | outlets and the resale market |
+//! | [`attacker`] | `pwnd-attacker` | the calibrated criminal population |
+//! | [`analysis`] | `pwnd-analysis` | §4 figures, tables, CvM, TF-IDF |
+//! | [`core`] | `pwnd-core` | experiment orchestration |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use pwnd::{Experiment, ExperimentConfig};
+//!
+//! let output = Experiment::new(ExperimentConfig::paper(2016)).run();
+//! println!("{}", output.analysis().render());
+//! ```
+
+pub use pwnd_analysis as analysis;
+pub use pwnd_attacker as attacker;
+pub use pwnd_core as core;
+pub use pwnd_corpus as corpus;
+pub use pwnd_leak as leak;
+pub use pwnd_monitor as monitor;
+pub use pwnd_net as net;
+pub use pwnd_sim as sim;
+pub use pwnd_webmail as webmail;
+
+pub use pwnd_core::{Experiment, ExperimentConfig, GroundTruth, RunOutput};
