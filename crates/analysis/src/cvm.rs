@@ -253,7 +253,11 @@ mod tests {
         let y = vec![1.5, 2.5, 3.5, 4.5, 5.5];
         let r = cramer_von_mises_2samp(&x, &y);
         let expected = 835.0 / 420.0 - 139.0 / 72.0;
-        assert!((r.statistic - expected).abs() < 1e-12, "T = {}", r.statistic);
+        assert!(
+            (r.statistic - expected).abs() < 1e-12,
+            "T = {}",
+            r.statistic
+        );
         assert!(r.p_value > 0.8, "p = {}", r.p_value);
     }
 

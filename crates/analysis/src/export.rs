@@ -39,8 +39,15 @@ pub fn figures_to_csv(analysis: &FullAnalysis) -> Vec<CsvFile> {
     let mut f1 = String::new();
     push_csv_row(
         &mut f1,
-        &["outlet", "curious", "gold_digger", "hijacker", "spammer", "n"]
-            .map(String::from),
+        &[
+            "outlet",
+            "curious",
+            "gold_digger",
+            "hijacker",
+            "spammer",
+            "n",
+        ]
+        .map(String::from),
     );
     for (outlet, fr, n) in &analysis.fig1.rows {
         push_csv_row(
@@ -87,7 +94,11 @@ pub fn figures_to_csv(analysis: &FullAnalysis) -> Vec<CsvFile> {
     for p in &analysis.fig4 {
         push_csv_row(
             &mut f4,
-            &[p.account.to_string(), p.outlet.clone(), format!("{:.3}", p.day)],
+            &[
+                p.account.to_string(),
+                p.outlet.clone(),
+                format!("{:.3}", p.day),
+            ],
         );
     }
     files.push(CsvFile {
@@ -120,8 +131,7 @@ pub fn figures_to_csv(analysis: &FullAnalysis) -> Vec<CsvFile> {
     let mut f6 = String::new();
     push_csv_row(
         &mut f6,
-        &["outlet", "region", "with_location", "distance_km"]
-            .map(String::from),
+        &["outlet", "region", "with_location", "distance_km"].map(String::from),
     );
     for c in &analysis.fig6 {
         for d in &c.distances_km {

@@ -62,9 +62,7 @@ pub fn extended(ds: &Dataset) -> ExtendedStats {
     }
     let revisit_fraction = class_counts
         .into_iter()
-        .map(|(label, (n, revisits))| {
-            (label.to_string(), revisits as f64 / n.max(1) as f64)
-        })
+        .map(|(label, (n, revisits))| (label.to_string(), revisits as f64 / n.max(1) as f64))
         .collect();
 
     // Weekly timeline.
@@ -115,9 +113,9 @@ mod tests {
     fn dataset() -> Dataset {
         Dataset {
             accesses: vec![
-                access(0, 1, 0, 10, 0),                    // curious, no revisit
-                access(0, 2, 0, 3 * 86_400, 0),            // curious, revisits
-                access(1, 3, 8 * 86_400, 8 * 86_400, 2),   // gold digger week 1
+                access(0, 1, 0, 10, 0),                  // curious, no revisit
+                access(0, 2, 0, 3 * 86_400, 0),          // curious, revisits
+                access(1, 3, 8 * 86_400, 8 * 86_400, 2), // gold digger week 1
             ],
             accounts: vec![
                 AccountRecord {

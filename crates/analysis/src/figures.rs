@@ -97,9 +97,7 @@ pub fn fig3(ds: &Dataset) -> Fig3 {
             .accesses_for_outlet(outlet)
             .filter_map(|a| {
                 let rec = ds.account_record(a.account)?;
-                Some(
-                    (a.first_seen_secs as f64 - rec.leaked_at_secs as f64).max(0.0) / 86_400.0,
-                )
+                Some((a.first_seen_secs as f64 - rec.leaked_at_secs as f64).max(0.0) / 86_400.0)
             })
             .collect();
         series.push((outlet.to_string(), Ecdf::new(days)));
@@ -130,7 +128,11 @@ pub fn fig4(ds: &Dataset) -> Vec<Fig4Point> {
             });
         }
     }
-    out.sort_by(|x, y| (x.account, x.day).partial_cmp(&(y.account, y.day)).expect("finite"));
+    out.sort_by(|x, y| {
+        (x.account, x.day)
+            .partial_cmp(&(y.account, y.day))
+            .expect("finite")
+    });
     out
 }
 
@@ -198,7 +200,10 @@ fn qualifying_point(a: &ParsedAccess) -> Option<GeoPoint> {
     if a.via_tor || !a.has_location_row || a.city == "Unknown" {
         None
     } else {
-        Some(GeoPoint { lat: a.lat, lon: a.lon })
+        Some(GeoPoint {
+            lat: a.lat,
+            lon: a.lon,
+        })
     }
 }
 
@@ -285,7 +290,13 @@ mod tests {
     use super::*;
     use pwnd_monitor::dataset::AccountRecord;
 
-    fn mk_access(account: u32, cookie: u64, opened: u32, sent: u32, hijacker: bool) -> ParsedAccess {
+    fn mk_access(
+        account: u32,
+        cookie: u64,
+        opened: u32,
+        sent: u32,
+        hijacker: bool,
+    ) -> ParsedAccess {
         ParsedAccess {
             account,
             cookie,
@@ -322,11 +333,11 @@ mod tests {
     fn dataset() -> Dataset {
         Dataset {
             accesses: vec![
-                mk_access(0, 1, 0, 0, false),  // paste curious
-                mk_access(0, 2, 3, 0, false),  // paste gold digger
-                mk_access(1, 3, 0, 40, true),  // paste spammer+hijacker
-                mk_access(2, 4, 0, 0, false),  // forum curious
-                mk_access(3, 5, 1, 0, false),  // malware gold digger
+                mk_access(0, 1, 0, 0, false), // paste curious
+                mk_access(0, 2, 3, 0, false), // paste gold digger
+                mk_access(1, 3, 0, 40, true), // paste spammer+hijacker
+                mk_access(2, 4, 0, 0, false), // forum curious
+                mk_access(3, 5, 1, 0, false), // malware gold digger
             ],
             accounts: vec![
                 mk_account(0, "paste", Some("US")),

@@ -81,18 +81,29 @@ impl FullAnalysis {
         let mut s = String::new();
         let _ = writeln!(s, "== Overview (paper §4.1) ==");
         let o = &self.overview;
-        let _ = writeln!(s, "unique accesses : {:>5}   (paper: 326)", o.total_accesses);
+        let _ = writeln!(
+            s,
+            "unique accesses : {:>5}   (paper: 326)",
+            o.total_accesses
+        );
         let _ = writeln!(s, "emails opened   : {:>5}   (paper: 147)", o.emails_opened);
         let _ = writeln!(s, "emails sent     : {:>5}   (paper: 845)", o.emails_sent);
         let _ = writeln!(s, "drafts composed : {:>5}   (paper: 12)", o.drafts_created);
-        let _ = writeln!(s, "accounts w/ access: {:>3}  (paper: 90)", o.accounts_accessed);
+        let _ = writeln!(
+            s,
+            "accounts w/ access: {:>3}  (paper: 90)",
+            o.accounts_accessed
+        );
         for (outlet, n) in &o.accessed_by_outlet {
             let paper = match outlet.as_str() {
                 "paste" => 41,
                 "forum" => 30,
                 _ => 19,
             };
-            let _ = writeln!(s, "  {outlet:<8} accounts accessed: {n:>3} (paper: {paper})");
+            let _ = writeln!(
+                s,
+                "  {outlet:<8} accounts accessed: {n:>3} (paper: {paper})"
+            );
         }
         for (outlet, n) in &o.accesses_by_outlet {
             let paper = match outlet.as_str() {
@@ -102,16 +113,32 @@ impl FullAnalysis {
             };
             let _ = writeln!(s, "  {outlet:<8} accesses: {n:>4} (paper: {paper})");
         }
-        let _ = writeln!(s, "accounts blocked : {:>3}  (paper: 42)", o.accounts_blocked);
-        let _ = writeln!(s, "accounts hijacked: {:>3}  (paper: 36)", o.accounts_hijacked);
+        let _ = writeln!(
+            s,
+            "accounts blocked : {:>3}  (paper: 42)",
+            o.accounts_blocked
+        );
+        let _ = writeln!(
+            s,
+            "accounts hijacked: {:>3}  (paper: 36)",
+            o.accounts_hijacked
+        );
 
         let _ = writeln!(s, "\n== Table 1: leak groups ==");
         for r in &self.table1 {
-            let _ = writeln!(s, "group {}  {:>3} accounts  {}", r.group, r.accounts, r.outlet);
+            let _ = writeln!(
+                s,
+                "group {}  {:>3} accounts  {}",
+                r.group, r.accounts, r.outlet
+            );
         }
 
         let _ = writeln!(s, "\n== Figure 1: access types per outlet ==");
-        let _ = writeln!(s, "{:<10} {:>8} {:>12} {:>10} {:>9}  (n)", "outlet", "curious", "gold digger", "hijacker", "spammer");
+        let _ = writeln!(
+            s,
+            "{:<10} {:>8} {:>12} {:>10} {:>9}  (n)",
+            "outlet", "curious", "gold digger", "hijacker", "spammer"
+        );
         for (outlet, f, n) in &self.fig1.rows {
             let _ = writeln!(
                 s,
@@ -158,7 +185,8 @@ impl FullAnalysis {
             .filter(|p| p.outlet == "malware")
             .map(|p| p.day)
             .collect();
-        let in_band = |lo: f64, hi: f64| malware_days.iter().filter(|&&d| d >= lo && d < hi).count();
+        let in_band =
+            |lo: f64, hi: f64| malware_days.iter().filter(|&&d| d >= lo && d < hi).count();
         let _ = writeln!(
             s,
             "malware accesses: <25d {} | 25-60d {} | 95-130d {} | other {}",
@@ -170,22 +198,33 @@ impl FullAnalysis {
 
         let _ = writeln!(s, "\n== Figure 5a: browsers per outlet ==");
         for (outlet, m) in &self.fig5.browsers {
-            let mut parts: Vec<String> =
-                m.iter().map(|(k, v)| format!("{k} {:.0}%", v * 100.0)).collect();
+            let mut parts: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{k} {:.0}%", v * 100.0))
+                .collect();
             parts.sort();
             let _ = writeln!(s, "{outlet:<8} {}", parts.join(", "));
         }
         let _ = writeln!(s, "\n== Figure 5b: operating systems per outlet ==");
         for (outlet, m) in &self.fig5.oses {
-            let mut parts: Vec<String> =
-                m.iter().map(|(k, v)| format!("{k} {:.0}%", v * 100.0)).collect();
+            let mut parts: Vec<String> = m
+                .iter()
+                .map(|(k, v)| format!("{k} {:.0}%", v * 100.0))
+                .collect();
             parts.sort();
             let _ = writeln!(s, "{outlet:<8} {}", parts.join(", "));
         }
 
-        let _ = writeln!(s, "\n== Figure 6: median distance from advertised midpoints (km) ==");
+        let _ = writeln!(
+            s,
+            "\n== Figure 6: median distance from advertised midpoints (km) =="
+        );
         for c in &self.fig6 {
-            let loc = if c.with_location { "with location" } else { "no location " };
+            let loc = if c.with_location {
+                "with location"
+            } else {
+                "no location "
+            };
             let _ = writeln!(
                 s,
                 "{:<6} {} {}  median {:>7.0} km  (n={})",
@@ -225,26 +264,46 @@ impl FullAnalysis {
             };
             let _ = writeln!(s, "{outlet:<8} tor {tor}/{n} (paper {paper})");
         }
-        let _ = writeln!(s, "tor total      : {} (paper 132/326)", self.origins.tor_total);
+        let _ = writeln!(
+            s,
+            "tor total      : {} (paper 132/326)",
+            self.origins.tor_total
+        );
         let _ = writeln!(s, "countries      : {} (paper 29)", self.origins.countries);
-        let _ = writeln!(s, "blacklisted IPs: {} (paper 20)", self.origins.blacklisted_ips);
+        let _ = writeln!(
+            s,
+            "blacklisted IPs: {} (paper 20)",
+            self.origins.blacklisted_ips
+        );
 
         let _ = writeln!(s, "\n== Table 2: TF-IDF keyword inference ==");
-        let _ = writeln!(s, "{:<16} {:>9} {:>9} {:>9}", "searched word", "TFIDF_R", "TFIDF_A", "diff");
+        let _ = writeln!(
+            s,
+            "{:<16} {:>9} {:>9} {:>9}",
+            "searched word", "TFIDF_R", "TFIDF_A", "diff"
+        );
         for t in self.tfidf.top_searched(10) {
             let _ = writeln!(
                 s,
                 "{:<16} {:>9.4} {:>9.4} {:>9.4}",
-                t.term, t.tfidf_r, t.tfidf_a,
+                t.term,
+                t.tfidf_r,
+                t.tfidf_a,
                 t.diff()
             );
         }
-        let _ = writeln!(s, "{:<16} {:>9} {:>9} {:>9}", "common word", "TFIDF_R", "TFIDF_A", "diff");
+        let _ = writeln!(
+            s,
+            "{:<16} {:>9} {:>9} {:>9}",
+            "common word", "TFIDF_R", "TFIDF_A", "diff"
+        );
         for t in self.tfidf.top_corpus(10) {
             let _ = writeln!(
                 s,
                 "{:<16} {:>9.4} {:>9.4} {:>9.4}",
-                t.term, t.tfidf_r, t.tfidf_a,
+                t.term,
+                t.tfidf_r,
+                t.tfidf_a,
                 t.diff()
             );
         }
@@ -268,7 +327,11 @@ impl FullAnalysis {
         }
 
         let _ = writeln!(s, "\n== §4.5 sophistication ==");
-        let _ = writeln!(s, "{:<10} {:>11} {:>6} {:>16} {:>7}", "outlet", "cfg hidden", "tor", "non-destructive", "score");
+        let _ = writeln!(
+            s,
+            "{:<10} {:>11} {:>6} {:>16} {:>7}",
+            "outlet", "cfg hidden", "tor", "non-destructive", "score"
+        );
         for r in &self.sophistication {
             let _ = writeln!(
                 s,

@@ -35,7 +35,10 @@ pub fn overview(ds: &Dataset) -> Overview {
     let mut access_counts: BTreeMap<String, usize> = BTreeMap::new();
     for a in &ds.accesses {
         if let Some(rec) = ds.account_record(a.account) {
-            accessed.entry(rec.outlet.clone()).or_default().insert(a.account);
+            accessed
+                .entry(rec.outlet.clone())
+                .or_default()
+                .insert(a.account);
             *access_counts.entry(rec.outlet.clone()).or_insert(0) += 1;
         }
     }
@@ -100,7 +103,11 @@ pub fn table1(ds: &Dataset) -> Vec<Table1Row> {
                 "forum" => "forums",
                 _ => "malware",
             };
-            let loc = if with_loc { "with location" } else { "no location" };
+            let loc = if with_loc {
+                "with location"
+            } else {
+                "no location"
+            };
             Table1Row {
                 group: i + 1,
                 accounts: n,
@@ -185,7 +192,13 @@ mod tests {
         }
     }
 
-    fn account(idx: u32, outlet: &str, region: Option<&str>, hijacked: bool, blocked: bool) -> AccountRecord {
+    fn account(
+        idx: u32,
+        outlet: &str,
+        region: Option<&str>,
+        hijacked: bool,
+        blocked: bool,
+    ) -> AccountRecord {
         AccountRecord {
             account: idx,
             outlet: outlet.into(),

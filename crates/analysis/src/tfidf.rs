@@ -143,7 +143,10 @@ mod tests {
         let t = table();
         let top: Vec<&str> = t.top_searched(10).iter().map(|s| s.term.as_str()).collect();
         assert!(top.contains(&"bitcoin"), "{top:?}");
-        assert!(top.contains(&"payment") || top.contains(&"account"), "{top:?}");
+        assert!(
+            top.contains(&"payment") || top.contains(&"account"),
+            "{top:?}"
+        );
         // Corpus-dominant terms must NOT rank as searched.
         assert!(!top.contains(&"energy"));
         assert!(!top.contains(&"transfer"));
@@ -198,7 +201,11 @@ mod tests {
     #[test]
     fn preprocessing_is_applied() {
         // Short words and header words never appear as terms.
-        let t = TfidfTable::build("the charset energy", "the delivered payment", &Tokenizer::new());
+        let t = TfidfTable::build(
+            "the charset energy",
+            "the delivered payment",
+            &Tokenizer::new(),
+        );
         assert!(t.get("charset").is_none());
         assert!(t.get("delivered").is_none());
         assert!(t.get("the").is_none());

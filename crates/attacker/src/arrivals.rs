@@ -189,7 +189,13 @@ mod tests {
         let mut botmaster = 0;
         let mut buyers = 0;
         for account in 0..20 {
-            for a in malware_arrivals(account, SimTime::from_secs(3_600), &sales, horizon(), &mut rng) {
+            for a in malware_arrivals(
+                account,
+                SimTime::from_secs(3_600),
+                &sales,
+                horizon(),
+                &mut rng,
+            ) {
                 if a.buyer {
                     buyers += 1;
                     // Buyer arrivals happen after the wave sale date.

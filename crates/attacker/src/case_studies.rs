@@ -112,7 +112,12 @@ pub fn blackmailer_plans(
 }
 
 /// Build the carding-forum registrar's plan on one account.
-pub fn forum_registrar_plan(account: u32, start: SimTime, geo: &GeoDb, rng: &mut Rng) -> AccessPlan {
+pub fn forum_registrar_plan(
+    account: u32,
+    start: SimTime,
+    geo: &GeoDb,
+    rng: &mut Rng,
+) -> AccessPlan {
     let home = geo.sample(rng);
     AccessPlan {
         account,
@@ -167,7 +172,18 @@ mod tests {
                 _ => String::new(),
             })
             .collect();
-        for term in ["bitcoin", "bitcoins", "localbitcoins", "family", "seller", "payment", "below", "listed", "results", "wallet"] {
+        for term in [
+            "bitcoin",
+            "bitcoins",
+            "localbitcoins",
+            "family",
+            "seller",
+            "payment",
+            "below",
+            "listed",
+            "results",
+            "wallet",
+        ] {
             assert!(text.contains(term), "missing {term}");
         }
     }

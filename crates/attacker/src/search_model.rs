@@ -99,7 +99,10 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(account > statement * 2, "account {account} statement {statement}");
+        assert!(
+            account > statement * 2,
+            "account {account} statement {statement}"
+        );
     }
 
     #[test]

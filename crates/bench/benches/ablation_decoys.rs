@@ -28,7 +28,10 @@ fn bench(c: &mut Criterion) {
     };
     println!("\n== Decoy-seeding ablation (§5 future work) ==");
     println!("decoy opens without seeding: {}", bait_hits(&plain.dataset));
-    println!("decoy opens with seeding   : {}", bait_hits(&baited.dataset));
+    println!(
+        "decoy opens with seeding   : {}",
+        bait_hits(&baited.dataset)
+    );
     println!(
         "opened-email volume: {} → {}",
         plain.dataset.opened_texts.len(),

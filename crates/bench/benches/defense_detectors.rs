@@ -18,20 +18,27 @@ fn bench(c: &mut Criterion) {
 
     // Owner search-history model: everyday workflow vocabulary.
     let workflow = [
-        "meeting", "report", "schedule", "agreement", "contract", "review", "forecast",
-        "pipeline", "delivery", "project", "quarter",
+        "meeting",
+        "report",
+        "schedule",
+        "agreement",
+        "contract",
+        "review",
+        "forecast",
+        "pipeline",
+        "delivery",
+        "project",
+        "quarter",
     ];
     let mut rng = Rng::seed_from(7);
     let mut detector = SearchAnomalyDetector::new();
     detector.train((0..300).map(|_| *rng.choose(&workflow)));
-    let benign: Vec<String> = (0..200).map(|_| (*rng.choose(&workflow)).to_string()).collect();
+    let benign: Vec<String> = (0..200)
+        .map(|_| (*rng.choose(&workflow)).to_string())
+        .collect();
 
-    let report = evaluate_search_detector(
-        &detector,
-        &run.ground_truth.searched_queries,
-        &benign,
-        0.5,
-    );
+    let report =
+        evaluate_search_detector(&detector, &run.ground_truth.searched_queries, &benign, 0.5);
     println!("\n== §5 search-vocabulary detector ==");
     println!(
         "attacker queries {} | TPR {:.2} | FPR {:.2}",

@@ -7,7 +7,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use pwnd_analysis::figures::fig5;
 use pwnd_bench::{paper_run, BENCH_SEED};
-use pwnd_net::useragent::{fingerprint, ClientConfig, Browser, Os};
+use pwnd_net::useragent::{fingerprint, Browser, ClientConfig, Os};
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {

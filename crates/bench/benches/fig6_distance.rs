@@ -33,7 +33,11 @@ fn bench(c: &mut Criterion) {
             "{:<6} {} {:<14} median {:>7.0} km n={:<3} {}",
             cond.outlet,
             cond.region,
-            if cond.with_location { "with location" } else { "no location" },
+            if cond.with_location {
+                "with location"
+            } else {
+                "no location"
+            },
             cond.median_km.unwrap_or(f64::NAN),
             cond.distances_km.len(),
             reference
@@ -42,8 +46,14 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("fig6/build", |b| b.iter(|| fig6(black_box(&run.dataset))));
     c.bench_function("fig6/haversine", |b| {
-        let a = GeoPoint { lat: 51.5074, lon: -0.1278 };
-        let z = GeoPoint { lat: 42.6389, lon: -83.2910 };
+        let a = GeoPoint {
+            lat: 51.5074,
+            lon: -0.1278,
+        };
+        let z = GeoPoint {
+            lat: 42.6389,
+            lon: -83.2910,
+        };
         b.iter(|| haversine_km(black_box(a), black_box(z)))
     });
 }

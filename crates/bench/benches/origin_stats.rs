@@ -14,7 +14,11 @@ fn bench(c: &mut Criterion) {
     let stats = origin_stats(&run.dataset, Some(&run.blacklist));
 
     println!("\n== Origins (measured vs paper) ==");
-    for (outlet, paper) in [("paste", "28/144"), ("forum", "48/125"), ("malware", "56/57")] {
+    for (outlet, paper) in [
+        ("paste", "28/144"),
+        ("forum", "48/125"),
+        ("malware", "56/57"),
+    ] {
         let (n, tor) = stats.tor_by_outlet.get(outlet).copied().unwrap_or((0, 0));
         println!("{outlet:<8} tor {tor}/{n}  (paper {paper})");
     }

@@ -62,7 +62,9 @@ fn bench(c: &mut Criterion) {
     let tor = TorDirectory::generate(800, &mut rng);
     let locator = Geolocator::new(plan, geo, tor);
     let ip = locator.plan().sample_host("BR", &mut rng);
-    c.bench_function("net/geolocate", |b| b.iter(|| locator.locate(black_box(ip))));
+    c.bench_function("net/geolocate", |b| {
+        b.iter(|| locator.locate(black_box(ip)))
+    });
     c.bench_function("net/sample_host_in_city", |b| {
         let london = locator.geo().by_name("London").expect("city");
         b.iter(|| locator.sample_host_in_city(black_box(london), &mut rng))

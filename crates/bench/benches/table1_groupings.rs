@@ -14,7 +14,10 @@ fn bench(c: &mut Criterion) {
 
     println!("\n== Table 1: account groupings (paper: 30/20/10/20/20) ==");
     for row in table1(&run.dataset) {
-        println!("group {}  {:>3} accounts  {}", row.group, row.accounts, row.outlet);
+        println!(
+            "group {}  {:>3} accounts  {}",
+            row.group, row.accounts, row.outlet
+        );
     }
 
     c.bench_function("table1/reconstruct_from_dataset", |b| {

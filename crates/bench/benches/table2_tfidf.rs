@@ -7,9 +7,9 @@
 //! search, not at random.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_analysis::tfidf::TfidfTable;
 use pwnd_bench::{paper_run, BENCH_SEED};
 use pwnd_corpus::tokenize::Tokenizer;
-use pwnd_analysis::tfidf::TfidfTable;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -20,14 +20,20 @@ fn bench(c: &mut Criterion) {
     for t in analysis.tfidf.top_searched(10) {
         println!(
             "{:<16} R {:>7.4}  A {:>7.4}  diff {:>7.4}",
-            t.term, t.tfidf_r, t.tfidf_a, t.diff()
+            t.term,
+            t.tfidf_r,
+            t.tfidf_a,
+            t.diff()
         );
     }
     println!("== Table 2 (right): corpus-dominant words ==");
     for t in analysis.tfidf.top_corpus(10) {
         println!(
             "{:<16} R {:>7.4}  A {:>7.4}  diff {:>7.4}",
-            t.term, t.tfidf_r, t.tfidf_a, t.diff()
+            t.term,
+            t.tfidf_r,
+            t.tfidf_a,
+            t.diff()
         );
     }
 

@@ -12,7 +12,9 @@ use pwnd_corpus::email::{Email, EmailId, MailTime};
 use pwnd_corpus::generator::CorpusGenerator;
 use pwnd_corpus::persona::{DecoyRegion, Persona, PersonaFactory};
 use pwnd_leak::forum::{generate_inquiries, Forum, SellerAccount, TeaserThread};
-use pwnd_leak::malware::{liveness_filter, sample_pool, Campaign, CncId, InfectionOutcome, Sandbox};
+use pwnd_leak::malware::{
+    liveness_filter, sample_pool, Campaign, CncId, InfectionOutcome, Sandbox,
+};
 use pwnd_leak::market::{Market, Sale};
 use pwnd_leak::paste::PasteSite;
 use pwnd_leak::plan::{LeakContent, LeakRecord, OutletKind};
@@ -28,6 +30,7 @@ use pwnd_net::ip::AddressPlan;
 use pwnd_net::tor::TorDirectory;
 use pwnd_sim::event::EventQueue;
 use pwnd_sim::{Rng, SimDuration, SimTime};
+use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
 use pwnd_webmail::mailbox::Folder;
 use pwnd_webmail::service::{
@@ -43,6 +46,7 @@ type SalesByAccount = HashMap<u32, (CncId, SimTime, Vec<Sale>)>;
 /// A runnable experiment.
 pub struct Experiment {
     config: ExperimentConfig,
+    telemetry: TelemetrySink,
 }
 
 #[derive(Clone, Debug)]
@@ -82,9 +86,23 @@ struct HoneyAccount {
 }
 
 impl Experiment {
-    /// Create an experiment from a configuration.
+    /// Create an experiment from a configuration. Telemetry starts
+    /// disabled: the default run pays nothing for observability.
     pub fn new(config: ExperimentConfig) -> Experiment {
-        Experiment { config }
+        Experiment {
+            config,
+            telemetry: TelemetrySink::disabled(),
+        }
+    }
+
+    /// Attach a telemetry sink. The sink is threaded through every layer
+    /// (event queue, webmail service, monitor, leak outlets) and collects
+    /// metrics, trace records, and phase timings for the whole run.
+    /// Telemetry never touches simulation RNG or state: enabling it
+    /// cannot change the dataset a seed produces.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Experiment {
+        self.telemetry = sink;
+        self
     }
 
     /// Run the experiment to completion and collect everything.
@@ -113,9 +131,14 @@ impl Experiment {
         let mut collector = NotificationCollector::new();
         let mut scraper = Scraper::new(rng_scraper);
         let mut blacklist = Blacklist::new();
+        service.set_telemetry(self.telemetry.clone());
+        runtime.set_telemetry(self.telemetry.clone());
+        collector.set_telemetry(self.telemetry.clone());
+        scraper.set_telemetry(self.telemetry.clone());
 
         // --- Account setup ----------------------------------------------
         let horizon = SimTime::ZERO + SimDuration::days(cfg.observation_days);
+        let span = self.telemetry.span("corpus");
         let (mut accounts, corpus_text, extra_stopwords) = self.setup_accounts(
             &mut service,
             &mut runtime,
@@ -124,17 +147,22 @@ impl Experiment {
             &mut rng_setup,
             &mut rng_corpus,
         );
+        drop(span);
 
         // --- Leaks -------------------------------------------------------
+        let span = self.telemetry.span("leaks");
         let (leaks, malware_sales, mut ground_truth) =
             self.leak_credentials(&mut accounts, &mut rng_leak);
+        drop(span);
 
         // --- Attacker access plans ----------------------------------------
+        let span = self.telemetry.span("attack-plans");
         let mut accesses =
             self.build_accesses(&accounts, &malware_sales, horizon, &geo, &mut rng_attack);
         if cfg.case_studies {
             accesses.extend(self.case_study_accesses(&accounts, &geo, &mut rng_attack));
         }
+        drop(span);
         ground_truth.attempted_accesses = accesses.len();
         let mut states: Vec<AccessState> = accesses
             .into_iter()
@@ -154,11 +182,24 @@ impl Experiment {
             .collect();
 
         // --- Event loop ----------------------------------------------------
-        let mut queue: EventQueue<Event> = EventQueue::new();
+        let loop_span = self.telemetry.span("event-loop");
+        let mut queue: EventQueue<Event> = EventQueue::new()
+            .with_telemetry(self.telemetry.clone())
+            .with_labeler(|e| match e {
+                Event::Visit { .. } => "visit",
+                Event::Scrape => "scrape",
+                Event::Heartbeat => "heartbeat",
+            });
         for (ai, st) in states.iter().enumerate() {
             for (vi, v) in st.plan.visits.iter().enumerate() {
                 if v.start < horizon {
-                    queue.schedule(v.start, Event::Visit { access: ai, visit: vi });
+                    queue.schedule(
+                        v.start,
+                        Event::Visit {
+                            access: ai,
+                            visit: vi,
+                        },
+                    );
                 }
             }
         }
@@ -172,7 +213,9 @@ impl Experiment {
             }
             match ev {
                 Event::Scrape => {
+                    let scrape_span = self.telemetry.span("scrape");
                     scraper.scrape_all(&mut service, t);
+                    drop(scrape_span);
                     queue.schedule(t + scrape_gap, Event::Scrape);
                 }
                 Event::Heartbeat => {
@@ -199,7 +242,10 @@ impl Experiment {
         }
         // One final scrape right at the horizon, as the researchers would
         // do before ending data collection.
+        let scrape_span = self.telemetry.span("scrape");
         scraper.scrape_all(&mut service, horizon);
+        drop(scrape_span);
+        drop(loop_span);
 
         // --- Ground truth ---------------------------------------------------
         for acct in &accounts {
@@ -226,6 +272,7 @@ impl Experiment {
         ground_truth.quota_notices_delivered = runtime.quota_notices_sent();
 
         // --- Dataset ----------------------------------------------------------
+        let span = self.telemetry.span("dataset");
         let account_records: Vec<AccountRecord> = accounts
             .iter()
             .map(|a| AccountRecord {
@@ -239,10 +286,7 @@ impl Experiment {
                     .to_string()
                 }),
                 leaked_at_secs: a.leaked_at.as_secs(),
-                hijack_detected_secs: scraper
-                    .hijacks_detected()
-                    .get(&a.id)
-                    .map(|t| t.as_secs()),
+                hijack_detected_secs: scraper.hijacks_detected().get(&a.id).map(|t| t.as_secs()),
                 // Block detection is what the daily heartbeats are *for*
                 // (§3.1: "to attest that the account was still functional
                 // and had not been blocked by Google"): a heartbeat
@@ -263,6 +307,7 @@ impl Experiment {
             .with_own_cookies(&scraper.own_cookies())
             .with_accounts(account_records)
             .build();
+        drop(span);
 
         RunOutput {
             dataset,
@@ -271,6 +316,7 @@ impl Experiment {
             corpus_text,
             extra_stopwords,
             blacklist,
+            telemetry: self.telemetry.clone(),
         }
     }
 
@@ -331,8 +377,13 @@ impl Experiment {
                     }
                 };
 
-                let mailbox =
-                    generator.generate_mailbox(&persona, &peers, cfg.min_emails, cfg.max_emails, rng_corpus);
+                let mailbox = generator.generate_mailbox(
+                    &persona,
+                    &peers,
+                    cfg.min_emails,
+                    cfg.max_emails,
+                    rng_corpus,
+                );
                 for e in &mailbox {
                     corpus_text.push_str(&e.full_text());
                     corpus_text.push('\n');
@@ -340,7 +391,8 @@ impl Experiment {
                 let mailbox_len = mailbox.len();
                 service.seed_mailbox(id, mailbox);
                 if cfg.seed_decoys {
-                    let decoys = generate_decoys(&persona, 5_000_000 + id.0 as u64 * 10, rng_corpus);
+                    let decoys =
+                        generate_decoys(&persona, 5_000_000 + id.0 as u64 * 10, rng_corpus);
                     for d in &decoys {
                         corpus_text.push_str(&d.email.full_text());
                         corpus_text.push('\n');
@@ -361,7 +413,9 @@ impl Experiment {
                     service.add_rule(
                         id,
                         pwnd_webmail::rules::Rule {
-                            matcher: pwnd_webmail::rules::Matcher::SubjectContains("meeting".into()),
+                            matcher: pwnd_webmail::rules::Matcher::SubjectContains(
+                                "meeting".into(),
+                            ),
                             action: pwnd_webmail::rules::RuleAction::ApplyLabel("meetings".into()),
                         },
                     );
@@ -418,6 +472,7 @@ impl Experiment {
         let live = liveness_filter(pool);
         assert!(!live.is_empty(), "liveness filter must keep some samples");
         let mut campaign = Campaign::new(Sandbox::default());
+        campaign.set_telemetry(self.telemetry.clone());
         let market = Market::default();
 
         let mut leaks = Vec::new();
@@ -438,16 +493,14 @@ impl Experiment {
                 acct_cursor += 1;
                 // Small stagger: postings spread over the leak day.
                 let at = SimTime::ZERO + SimDuration::minutes(10 * acct_cursor as u64);
-                let advertised = account.advertised.map(|r| {
-                    (r, account.persona.home_city.name.to_string())
-                });
+                let advertised = account
+                    .advertised
+                    .map(|r| (r, account.persona.home_city.name.to_string()));
                 let content = LeakContent {
                     address: account.address.clone(),
                     password: account.password.clone(),
                     advertised,
-                    dob: account
-                        .advertised
-                        .map(|_| account.persona.dob.to_string()),
+                    dob: account.advertised.map(|_| account.persona.dob.to_string()),
                 };
                 let (site, russian, leak_at) = match group.kind {
                     OutletKind::Paste => {
@@ -510,9 +563,15 @@ impl Experiment {
             let seller = SellerAccount::register(forum, SimTime::ZERO, rng);
             let lines = samples.into_iter().map(|(l, _)| l).collect();
             let thread = TeaserThread::post(&seller, lines, posted_at, rng);
-            ground_truth
-                .inquiries
-                .extend(generate_inquiries(forum, posted_at, rng));
+            let inquiries = generate_inquiries(forum, posted_at, rng);
+            for inq in &inquiries {
+                self.telemetry.count("leak.forum_inquiries");
+                self.telemetry
+                    .trace_with(inq.at.as_secs(), "forum_inquiry", None, || {
+                        format!("{} on {}", inq.from_handle, forum.name)
+                    });
+            }
+            ground_truth.inquiries.extend(inquiries);
             ground_truth.sellers.push(seller);
             ground_truth.teaser_threads.push(thread);
         }
@@ -521,6 +580,18 @@ impl Experiment {
         let mut sales_per_account: SalesByAccount = HashMap::new();
         for (&cnc, loot) in campaign.loot() {
             let (sales, _unsold) = market.plan_sales(loot.entries(), rng);
+            for sale in &sales {
+                self.telemetry.count("leak.market_sales");
+                self.telemetry
+                    .trace_with(sale.at.as_secs(), "market_sale", None, || {
+                        format!(
+                            "cnc={} wave={} accounts={}",
+                            cnc.0,
+                            sale.wave,
+                            sale.accounts.len()
+                        )
+                    });
+            }
             for &(acct, stolen_at) in loot.entries() {
                 sales_per_account.insert(acct, (cnc, stolen_at, sales.clone()));
             }
@@ -551,6 +622,13 @@ impl Experiment {
                         .expect("leak site known");
                     let profile = self.profile_for(OutletProfile::paste());
                     for t in paste_arrivals(site, account.leaked_at, horizon, rng) {
+                        self.telemetry.count_labeled("leak.paste_views", site.name);
+                        self.telemetry.trace_with(
+                            t.as_secs(),
+                            "paste_view",
+                            Some(account.id.0),
+                            || site.name.to_string(),
+                        );
                         out.push(build_access_plan(
                             &profile,
                             account.id.0,
@@ -697,7 +775,9 @@ fn execute_visit(
         }
         // Someone else hijacked the account, or the provider blocked it,
         // or (filter-enabled ablation) the login looked too suspicious.
-        Err(LoginError::BadCredentials | LoginError::AccountBlocked | LoginError::SuspiciousLogin) => {
+        Err(
+            LoginError::BadCredentials | LoginError::AccountBlocked | LoginError::SuspiciousLogin,
+        ) => {
             return;
         }
     };
@@ -732,7 +812,9 @@ fn run_action(
     };
     match action {
         Action::ListInbox => {
-            service.list_folder(session, Folder::Inbox).map_err(|_| ())?;
+            service
+                .list_folder(session, Folder::Inbox)
+                .map_err(|_| ())?;
         }
         Action::Search { query, open_top } => {
             let hits = match service.search(session, query, t) {
@@ -796,7 +878,10 @@ fn run_action(
         } => {
             let mut st = t;
             for i in 0..*count {
-                let to = vec![format!("mark{:06x}@spamlist.example", rng.next_u64() as u32)];
+                let to = vec![format!(
+                    "mark{:06x}@spamlist.example",
+                    rng.next_u64() as u32
+                )];
                 match service.send_email(session, to, subject, body, st) {
                     Ok(_) => {}
                     Err(SendError::Op(_)) => return Err(()), // blocked: burst over
@@ -835,8 +920,7 @@ fn run_action(
                     from: format!("no-reply@{svc_name}"),
                     to: vec![addr],
                     subject: format!("Welcome to {svc_name} - confirm your registration"),
-                    body: "Click the confirmation link to activate your forum account."
-                        .into(),
+                    body: "Click the confirmation link to activate your forum account.".into(),
                     timestamp: MailTime::from_sim(t),
                 }],
             );
@@ -856,7 +940,11 @@ mod tests {
         assert_eq!(out.dataset.accounts.len(), 100);
         assert_eq!(out.leaks.len(), 100);
         // Accesses happened and were observed.
-        assert!(out.dataset.accesses.len() > 50, "{}", out.dataset.accesses.len());
+        assert!(
+            out.dataset.accesses.len() > 50,
+            "{}",
+            out.dataset.accesses.len()
+        );
         // Spam was sent and sinkholed, never delivered.
         assert!(out.ground_truth.sinkholed_messages > 0);
         // Some accounts got hijacked, some blocked.
@@ -885,5 +973,30 @@ mod tests {
         let a = Experiment::new(ExperimentConfig::quick(1)).run();
         let b = Experiment::new(ExperimentConfig::quick(2)).run();
         assert_ne!(a.dataset.accesses, b.dataset.accesses);
+    }
+
+    #[test]
+    fn telemetry_does_not_perturb_the_run() {
+        let plain = Experiment::new(ExperimentConfig::quick(42)).run();
+        let traced = Experiment::new(ExperimentConfig::quick(42))
+            .with_telemetry(TelemetrySink::enabled())
+            .run();
+        // The published artifact must be byte-identical whether or not
+        // the run was instrumented.
+        assert_eq!(plain.dataset_json(), traced.dataset_json());
+
+        // Two instrumented runs of the same seed agree on every metric
+        // and trace record (report equality ignores wall-clock phases).
+        let traced2 = Experiment::new(ExperimentConfig::quick(42))
+            .with_telemetry(TelemetrySink::enabled())
+            .run();
+        assert_eq!(traced.telemetry_report(), traced2.telemetry_report());
+
+        // And the instrumentation actually observed the run.
+        let report = traced.telemetry_report();
+        assert!(report.counter("sim.events_dispatched") > 0);
+        assert!(report.counter("webmail.logins") > 0);
+        assert!(report.counter("monitor.scrapes") > 0);
+        assert!(!report.trace.is_empty());
     }
 }

@@ -7,6 +7,7 @@ use pwnd_leak::malware::CycleRecord;
 use pwnd_leak::plan::LeakRecord;
 use pwnd_monitor::dataset::Dataset;
 use pwnd_net::dnsbl::Blacklist;
+use pwnd_telemetry::{TelemetryReport, TelemetrySink};
 
 /// What the simulator knows that the researchers could not observe.
 /// Tests use this to validate the censoring logic; analyses never touch
@@ -56,17 +57,27 @@ pub struct RunOutput {
     pub extra_stopwords: Vec<String>,
     /// The DNSBL snapshot for the post-hoc blacklist check.
     pub blacklist: Blacklist,
+    /// The run's telemetry sink (disabled unless the experiment was built
+    /// with [`Experiment::with_telemetry`](crate::experiment::Experiment::with_telemetry)).
+    /// Still live: [`RunOutput::analysis`] adds its own phase span.
+    pub telemetry: TelemetrySink,
 }
 
 impl RunOutput {
     /// Run the full §4 analysis pipeline over the dataset.
     pub fn analysis(&self) -> FullAnalysis {
+        let _span = self.telemetry.span("analysis");
         FullAnalysis::compute(
             &self.dataset,
             &self.corpus_text,
             &self.extra_stopwords,
             Some(&self.blacklist),
         )
+    }
+
+    /// Snapshot the run's telemetry (metrics, trace, phase timings).
+    pub fn telemetry_report(&self) -> TelemetryReport {
+        self.telemetry.report()
     }
 
     /// Export the dataset as JSON (the paper's public-dataset artifact).

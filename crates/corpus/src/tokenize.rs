@@ -94,7 +94,10 @@ mod tests {
     fn lowercases_and_splits_on_punctuation() {
         let t = Tokenizer::new();
         let toks = t.tokenize("PAYMENT!!! seller,family;bitcoin_wallet");
-        assert_eq!(toks, vec!["payment", "seller", "family", "bitcoin", "wallet"]);
+        assert_eq!(
+            toks,
+            vec!["payment", "seller", "family", "bitcoin", "wallet"]
+        );
     }
 
     #[test]

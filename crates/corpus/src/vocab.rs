@@ -56,8 +56,18 @@ pub const CORE_BUSINESS: &[&str] = &[
 /// (they appear in roughly one message in twenty) so that attacker
 /// searches concentrate them in the opened set.
 pub const SENSITIVE: &[&str] = &[
-    "account", "payment", "seller", "family", "listed", "below", "results", "banking", "salary",
-    "invoice", "password", "statement",
+    "account",
+    "payment",
+    "seller",
+    "family",
+    "listed",
+    "below",
+    "results",
+    "banking",
+    "salary",
+    "invoice",
+    "password",
+    "statement",
 ];
 
 /// Generic filler vocabulary (Zipf-weighted). A mix of ≥5-char words that
@@ -67,15 +77,68 @@ pub const FILLER: &[&str] = &[
     // drops them (< 5 chars), which keeps the surviving content words'
     // frequencies flat — important so TF-IDF noise does not drown the
     // searched-term signal of Table 2.
-    "with", "this", "that", "from", "will", "have", "been", "your", "know", "need", "good",
-    "well", "send", "sent", "also", "note", "plan", "work", "week", "time", "next", "last",
-    "call", "team", "desk",
+    "with",
+    "this",
+    "that",
+    "from",
+    "will",
+    "have",
+    "been",
+    "your",
+    "know",
+    "need",
+    "good",
+    "well",
+    "send",
+    "sent",
+    "also",
+    "note",
+    "plan",
+    "work",
+    "week",
+    "time",
+    "next",
+    "last",
+    "call",
+    "team",
+    "desk",
     // Content fillers (≥ 5 chars, survive tokenization).
-    "regarding", "following", "discussed", "yesterday", "tomorrow", "morning", "afternoon",
-    "available", "possible", "question", "update", "changes", "numbers", "position",
-    "group", "system", "process", "issues", "details", "thanks", "regards",
-    "draft", "final", "today", "letter", "office", "monday", "friday", "counterparty",
-    "settlement", "exposure", "curves", "volumes", "points", "basis", "storage",
+    "regarding",
+    "following",
+    "discussed",
+    "yesterday",
+    "tomorrow",
+    "morning",
+    "afternoon",
+    "available",
+    "possible",
+    "question",
+    "update",
+    "changes",
+    "numbers",
+    "position",
+    "group",
+    "system",
+    "process",
+    "issues",
+    "details",
+    "thanks",
+    "regards",
+    "draft",
+    "final",
+    "today",
+    "letter",
+    "office",
+    "monday",
+    "friday",
+    "counterparty",
+    "settlement",
+    "exposure",
+    "curves",
+    "volumes",
+    "points",
+    "basis",
+    "storage",
 ];
 
 /// Subject-line templates. `{}` slots are filled from [`CORE_BUSINESS`].
@@ -116,7 +179,9 @@ mod tests {
 
     #[test]
     fn table2_searchable_terms_are_sensitive() {
-        for w in ["account", "payment", "seller", "family", "listed", "below", "results"] {
+        for w in [
+            "account", "payment", "seller", "family", "listed", "below", "results",
+        ] {
             assert!(SENSITIVE.contains(&w), "missing sensitive term {w}");
         }
     }

@@ -7,6 +7,7 @@
 //! — Figure 1 shows forums with the highest gold-digger fraction.
 
 use pwnd_sim::{Rng, SimDuration, SimTime};
+use pwnd_telemetry::TelemetrySink;
 
 /// One of the open forums used in the paper.
 #[derive(Clone, Debug, PartialEq)]
@@ -236,6 +237,7 @@ impl TeaserThread {
 #[derive(Clone, Debug, Default)]
 pub struct PmInbox {
     messages: Vec<Inquiry>,
+    telemetry: TelemetrySink,
 }
 
 impl PmInbox {
@@ -244,8 +246,19 @@ impl PmInbox {
         PmInbox::default()
     }
 
+    /// Attach a telemetry sink (`leak.forum_inquiries` and `forum_inquiry`
+    /// trace records).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
     /// Receive one inquiry.
     pub fn receive(&mut self, inquiry: Inquiry) {
+        self.telemetry.count("leak.forum_inquiries");
+        self.telemetry
+            .trace_with(inquiry.at.as_secs(), "forum_inquiry", None, || {
+                format!("from={}", inquiry.from_handle)
+            });
         self.messages.push(inquiry);
     }
 
@@ -326,10 +339,16 @@ mod tests {
         let seller = SellerAccount::register(&forum, SimTime::from_secs(100), &mut rng);
         assert_eq!(seller.forum, "offensivecommunity.net");
         assert!(!seller.handle.is_empty());
-        let lines = vec!["a@honeymail.example:pw1".to_string(), "b@honeymail.example:pw2".to_string()];
+        let lines = vec![
+            "a@honeymail.example:pw1".to_string(),
+            "b@honeymail.example:pw2".to_string(),
+        ];
         let thread = TeaserThread::post(&seller, lines.clone(), SimTime::from_secs(200), &mut rng);
         assert_eq!(thread.sample_lines, lines);
-        assert!(thread.promised_total > lines.len(), "teaser must promise more");
+        assert!(
+            thread.promised_total > lines.len(),
+            "teaser must promise more"
+        );
         assert!(thread.price_usd >= 50);
         assert_eq!(thread.seller, seller.handle);
     }

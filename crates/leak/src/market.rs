@@ -57,11 +57,7 @@ impl Default for Market {
 impl Market {
     /// Plan the sales for one C&C's loot: which accounts are sold in which
     /// wave. Accounts never sold stay with the botmaster.
-    pub fn plan_sales(
-        &self,
-        loot: &[(u32, SimTime)],
-        rng: &mut Rng,
-    ) -> (Vec<Sale>, Vec<u32>) {
+    pub fn plan_sales(&self, loot: &[(u32, SimTime)], rng: &mut Rng) -> (Vec<Sale>, Vec<u32>) {
         let mut remaining: Vec<(u32, SimTime)> = loot.to_vec();
         let mut sales = Vec::new();
         for (wave, &days) in self.sale_wave_days.iter().enumerate() {
@@ -110,7 +106,9 @@ mod tests {
     use super::*;
 
     fn loot() -> Vec<(u32, SimTime)> {
-        (0..20).map(|i| (i, SimTime::from_secs(i as u64 * 3600))).collect()
+        (0..20)
+            .map(|i| (i, SimTime::from_secs(i as u64 * 3600)))
+            .collect()
     }
 
     #[test]

@@ -3,6 +3,7 @@
 use pwnd_corpus::email::EmailId;
 use pwnd_net::access::CookieId;
 use pwnd_sim::SimTime;
+use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
 
 /// What a notification reports.
@@ -58,6 +59,7 @@ pub struct Notification {
 #[derive(Clone, Debug, Default)]
 pub struct NotificationCollector {
     notifications: Vec<Notification>,
+    telemetry: TelemetrySink,
 }
 
 impl NotificationCollector {
@@ -66,8 +68,21 @@ impl NotificationCollector {
         NotificationCollector::default()
     }
 
+    /// Attach a telemetry sink (`monitor.notifications{kind}`).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
+    }
+
     /// Receive one notification.
     pub fn receive(&mut self, n: Notification) {
+        let kind = match n.kind {
+            NotificationKind::Opened { .. } => "opened",
+            NotificationKind::Starred { .. } => "starred",
+            NotificationKind::Sent { .. } => "sent",
+            NotificationKind::DraftCopy { .. } => "draft_copy",
+            NotificationKind::Heartbeat => "heartbeat",
+        };
+        self.telemetry.count_labeled("monitor.notifications", kind);
         self.notifications.push(n);
     }
 
@@ -78,7 +93,9 @@ impl NotificationCollector {
 
     /// Notifications for one account.
     pub fn for_account(&self, account: AccountId) -> impl Iterator<Item = &Notification> {
-        self.notifications.iter().filter(move |n| n.account == account)
+        self.notifications
+            .iter()
+            .filter(move |n| n.account == account)
     }
 
     /// The last heartbeat seen from an account, if any.

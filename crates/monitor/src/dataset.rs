@@ -20,12 +20,12 @@ use pwnd_net::access::CookieId;
 use pwnd_net::geolocate::{Geolocator, INFRA_CITY};
 use pwnd_net::ip::AddressPlan;
 use pwnd_sim::SimTime;
+use pwnd_telemetry::json::{Json, JsonError};
 use pwnd_webmail::account::AccountId;
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// One unique access: a device cookie observed on a honey account.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ParsedAccess {
     /// Account index.
     pub account: u32,
@@ -75,7 +75,7 @@ impl ParsedAccess {
 }
 
 /// Per-account metadata attached by the experiment driver.
-#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct AccountRecord {
     /// Account index.
     pub account: u32,
@@ -93,7 +93,7 @@ pub struct AccountRecord {
 }
 
 /// The full published dataset.
-#[derive(Clone, Debug, Serialize, Deserialize, Default)]
+#[derive(Clone, Debug, Default)]
 pub struct Dataset {
     /// One record per unique (account, cookie) access, post-filtering.
     pub accesses: Vec<ParsedAccess>,
@@ -107,16 +107,66 @@ pub struct Dataset {
 impl Dataset {
     /// Serialize to pretty JSON (the export format).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("dataset serializes")
+        Json::Obj(vec![
+            (
+                "accesses".to_string(),
+                Json::Arr(
+                    self.accesses
+                        .iter()
+                        .map(ParsedAccess::to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "accounts".to_string(),
+                Json::Arr(
+                    self.accounts
+                        .iter()
+                        .map(AccountRecord::to_json_value)
+                        .collect(),
+                ),
+            ),
+            (
+                "opened_texts".to_string(),
+                Json::Arr(
+                    self.opened_texts
+                        .iter()
+                        .map(|t| Json::Str(t.clone()))
+                        .collect(),
+                ),
+            ),
+        ])
+        .pretty()
     }
 
     /// Parse from JSON.
-    pub fn from_json(s: &str) -> Result<Dataset, serde_json::Error> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> Result<Dataset, JsonError> {
+        let root = Json::parse(s)?;
+        Ok(Dataset {
+            accesses: array_field(&root, "accesses")?
+                .iter()
+                .map(ParsedAccess::from_json_value)
+                .collect::<Result<_, _>>()?,
+            accounts: array_field(&root, "accounts")?
+                .iter()
+                .map(AccountRecord::from_json_value)
+                .collect::<Result<_, _>>()?,
+            opened_texts: array_field(&root, "opened_texts")?
+                .iter()
+                .map(|t| {
+                    t.as_str()
+                        .map(String::from)
+                        .ok_or_else(|| type_err("opened_texts", "string"))
+                })
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Accesses belonging to accounts with a given outlet label.
-    pub fn accesses_for_outlet<'a>(&'a self, outlet: &'a str) -> impl Iterator<Item = &'a ParsedAccess> {
+    pub fn accesses_for_outlet<'a>(
+        &'a self,
+        outlet: &'a str,
+    ) -> impl Iterator<Item = &'a ParsedAccess> {
         let accounts: HashSet<u32> = self
             .accounts
             .iter()
@@ -143,9 +193,180 @@ impl Dataset {
     }
 }
 
+fn type_err(field: &str, expected: &str) -> JsonError {
+    JsonError {
+        msg: format!("field {field}: expected {expected}"),
+        at: 0,
+    }
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, JsonError> {
+    v.get(key).ok_or_else(|| JsonError {
+        msg: format!("missing field {key}"),
+        at: 0,
+    })
+}
+
+fn array_field<'a>(v: &'a Json, key: &str) -> Result<&'a [Json], JsonError> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| type_err(key, "array"))
+}
+
+fn u64_field(v: &Json, key: &str) -> Result<u64, JsonError> {
+    field(v, key)?
+        .as_u64()
+        .ok_or_else(|| type_err(key, "integer"))
+}
+
+fn u32_field(v: &Json, key: &str) -> Result<u32, JsonError> {
+    u32::try_from(u64_field(v, key)?).map_err(|_| type_err(key, "u32"))
+}
+
+fn f64_field(v: &Json, key: &str) -> Result<f64, JsonError> {
+    field(v, key)?
+        .as_f64()
+        .ok_or_else(|| type_err(key, "number"))
+}
+
+fn str_field(v: &Json, key: &str) -> Result<String, JsonError> {
+    field(v, key)?
+        .as_str()
+        .map(String::from)
+        .ok_or_else(|| type_err(key, "string"))
+}
+
+fn bool_field(v: &Json, key: &str) -> Result<bool, JsonError> {
+    field(v, key)?
+        .as_bool()
+        .ok_or_else(|| type_err(key, "bool"))
+}
+
+fn opt_str_field(v: &Json, key: &str) -> Result<Option<String>, JsonError> {
+    let f = field(v, key)?;
+    if f.is_null() {
+        Ok(None)
+    } else {
+        f.as_str()
+            .map(|s| Some(s.to_string()))
+            .ok_or_else(|| type_err(key, "string or null"))
+    }
+}
+
+fn opt_u64_field(v: &Json, key: &str) -> Result<Option<u64>, JsonError> {
+    let f = field(v, key)?;
+    if f.is_null() {
+        Ok(None)
+    } else {
+        f.as_u64()
+            .map(Some)
+            .ok_or_else(|| type_err(key, "integer or null"))
+    }
+}
+
+fn opt_str_json(v: &Option<String>) -> Json {
+    match v {
+        Some(s) => Json::Str(s.clone()),
+        None => Json::Null,
+    }
+}
+
+impl ParsedAccess {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("account".to_string(), Json::U(u64::from(self.account))),
+            ("cookie".to_string(), Json::U(self.cookie)),
+            ("first_seen_secs".to_string(), Json::U(self.first_seen_secs)),
+            ("last_seen_secs".to_string(), Json::U(self.last_seen_secs)),
+            ("ip".to_string(), Json::Str(self.ip.clone())),
+            ("country".to_string(), opt_str_json(&self.country)),
+            ("city".to_string(), Json::Str(self.city.clone())),
+            ("lat".to_string(), Json::F(self.lat)),
+            ("lon".to_string(), Json::F(self.lon)),
+            ("browser".to_string(), Json::Str(self.browser.clone())),
+            ("os".to_string(), Json::Str(self.os.clone())),
+            ("via_tor".to_string(), Json::Bool(self.via_tor)),
+            ("opened".to_string(), Json::U(u64::from(self.opened))),
+            ("sent".to_string(), Json::U(u64::from(self.sent))),
+            ("drafts".to_string(), Json::U(u64::from(self.drafts))),
+            ("starred".to_string(), Json::U(u64::from(self.starred))),
+            ("hijacker".to_string(), Json::Bool(self.hijacker)),
+            (
+                "has_location_row".to_string(),
+                Json::Bool(self.has_location_row),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<ParsedAccess, JsonError> {
+        Ok(ParsedAccess {
+            account: u32_field(v, "account")?,
+            cookie: u64_field(v, "cookie")?,
+            first_seen_secs: u64_field(v, "first_seen_secs")?,
+            last_seen_secs: u64_field(v, "last_seen_secs")?,
+            ip: str_field(v, "ip")?,
+            country: opt_str_field(v, "country")?,
+            city: str_field(v, "city")?,
+            lat: f64_field(v, "lat")?,
+            lon: f64_field(v, "lon")?,
+            browser: str_field(v, "browser")?,
+            os: str_field(v, "os")?,
+            via_tor: bool_field(v, "via_tor")?,
+            opened: u32_field(v, "opened")?,
+            sent: u32_field(v, "sent")?,
+            drafts: u32_field(v, "drafts")?,
+            starred: u32_field(v, "starred")?,
+            hijacker: bool_field(v, "hijacker")?,
+            has_location_row: bool_field(v, "has_location_row")?,
+        })
+    }
+}
+
+impl AccountRecord {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("account".to_string(), Json::U(u64::from(self.account))),
+            ("outlet".to_string(), Json::Str(self.outlet.clone())),
+            (
+                "advertised_region".to_string(),
+                opt_str_json(&self.advertised_region),
+            ),
+            ("leaked_at_secs".to_string(), Json::U(self.leaked_at_secs)),
+            (
+                "hijack_detected_secs".to_string(),
+                self.hijack_detected_secs.map_or(Json::Null, Json::U),
+            ),
+            (
+                "block_detected_secs".to_string(),
+                self.block_detected_secs.map_or(Json::Null, Json::U),
+            ),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<AccountRecord, JsonError> {
+        Ok(AccountRecord {
+            account: u32_field(v, "account")?,
+            outlet: str_field(v, "outlet")?,
+            advertised_region: opt_str_field(v, "advertised_region")?,
+            leaked_at_secs: u64_field(v, "leaked_at_secs")?,
+            hijack_detected_secs: opt_u64_field(v, "hijack_detected_secs")?,
+            block_detected_secs: opt_u64_field(v, "block_detected_secs")?,
+        })
+    }
+}
+
 /// The location-bearing fields scraped from one activity row:
 /// (ip, country, city, lat, lon, browser, os, via_tor).
-type RowFields = (String, Option<String>, String, f64, f64, String, String, bool);
+type RowFields = (
+    String,
+    Option<String>,
+    String,
+    f64,
+    f64,
+    String,
+    String,
+    bool,
+);
 
 #[derive(Default)]
 struct PerCookie {
@@ -510,7 +731,10 @@ mod tests {
         let dumps = vec![ActivityDump {
             account: AccountId(0),
             at: SimTime::from_secs(300),
-            rows: vec![row(&geo, 1, 50, "US", &mut rng), row(&geo, 2, 200, "RU", &mut rng)],
+            rows: vec![
+                row(&geo, 1, 50, "US", &mut rng),
+                row(&geo, 2, 200, "RU", &mut rng),
+            ],
         }];
         let col = NotificationCollector::new();
         let mut m = meta(0);

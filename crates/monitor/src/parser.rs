@@ -24,7 +24,10 @@ pub fn render_page(account: u32, at: SimTime, rows: &[ActivityRow]) -> String {
     let mut out = String::new();
     out.push_str(DUMP_HEADER);
     out.push('\n');
-    out.push_str(&format!("account\t{account}\nscraped_at\t{}\n", at.as_secs()));
+    out.push_str(&format!(
+        "account\t{account}\nscraped_at\t{}\n",
+        at.as_secs()
+    ));
     for r in rows {
         out.push_str(&format!(
             "row\t{}\t{}\t{}\t{}\t{}\t{:.4}\t{:.4}\t{}\t{}\n",

@@ -12,6 +12,7 @@ use pwnd_net::geolocate::INFRA_CITY;
 use pwnd_net::ip::AddressPlan;
 use pwnd_net::useragent::{Browser, ClientConfig, Os};
 use pwnd_sim::{Rng, SimTime};
+use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
 use pwnd_webmail::activity::ActivityRow;
 use pwnd_webmail::service::{LoginError, WebmailService};
@@ -56,6 +57,7 @@ pub struct Scraper {
     hijack_detected: HashMap<AccountId, SimTime>,
     block_detected: HashMap<AccountId, SimTime>,
     rng: Rng,
+    telemetry: TelemetrySink,
 }
 
 impl Scraper {
@@ -69,7 +71,14 @@ impl Scraper {
             hijack_detected: HashMap::new(),
             block_detected: HashMap::new(),
             rng,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink (`monitor.scrapes`, `monitor.scrape_dumps`,
+    /// detection counters, and one `scrape` trace per sweep).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Register an account's researcher-held credentials.
@@ -86,7 +95,12 @@ impl Scraper {
     }
 
     /// Scrape one account now.
-    pub fn scrape(&mut self, service: &mut WebmailService, account: AccountId, at: SimTime) -> ScrapeOutcome {
+    pub fn scrape(
+        &mut self,
+        service: &mut WebmailService,
+        account: AccountId,
+        at: SimTime,
+    ) -> ScrapeOutcome {
         let (address, password) = self.credentials[&account].clone();
         let ip = AddressPlan::sample_infra(&mut self.rng);
         let infra_point = service
@@ -103,6 +117,7 @@ impl Scraper {
         if let Some(&cookie) = self.cookies.get(&account) {
             conn = conn.with_cookie(cookie);
         }
+        self.telemetry.count("monitor.scrapes");
         match service.login(&address, &password, &conn, at) {
             Ok((session, cookie)) => {
                 self.cookies.insert(account, cookie);
@@ -123,14 +138,21 @@ impl Scraper {
                         at,
                         rows: rows.clone(),
                     });
+                    self.telemetry.count("monitor.scrape_dumps");
                 }
                 ScrapeOutcome::Ok(rows)
             }
             Err(LoginError::BadCredentials) => {
+                if !self.hijack_detected.contains_key(&account) {
+                    self.telemetry.count("monitor.hijack_detections");
+                }
                 self.hijack_detected.entry(account).or_insert(at);
                 ScrapeOutcome::HijackDetected
             }
             Err(LoginError::AccountBlocked) => {
+                if !self.block_detected.contains_key(&account) {
+                    self.telemetry.count("monitor.block_detections");
+                }
                 self.block_detected.entry(account).or_insert(at);
                 ScrapeOutcome::BlockedDetected
             }
@@ -138,6 +160,9 @@ impl Scraper {
                 // Infra logins are habitual; this only happens in the
                 // filter-enabled ablation. Treat like a block for data
                 // purposes: the scraper can no longer observe the page.
+                if !self.block_detected.contains_key(&account) {
+                    self.telemetry.count("monitor.block_detections");
+                }
                 self.block_detected.entry(account).or_insert(at);
                 ScrapeOutcome::BlockedDetected
             }
@@ -146,6 +171,7 @@ impl Scraper {
 
     /// Scrape every registered account.
     pub fn scrape_all(&mut self, service: &mut WebmailService, at: SimTime) {
+        let mut attempted = 0u64;
         for account in self.accounts() {
             // Once hijacked or blocked there is nothing more to scrape.
             if self.hijack_detected.contains_key(&account)
@@ -154,7 +180,13 @@ impl Scraper {
                 continue;
             }
             let _ = self.scrape(service, account, at);
+            attempted += 1;
         }
+        // One trace record per sweep, not per account: a 7-month run
+        // scrapes 100 accounts every few hours.
+        self.telemetry.trace_with(at.as_secs(), "scrape", None, || {
+            format!("accounts={attempted}")
+        });
     }
 
     /// All raw dumps (what "offline parsing" consumes).
@@ -204,7 +236,8 @@ mod tests {
         let plan = AddressPlan::new(&geo);
         let mut rng = Rng::seed_from(3);
         let tor = TorDirectory::generate(50, &mut rng);
-        let mut svc = WebmailService::new(ServiceConfig::default(), Geolocator::new(plan, geo, tor));
+        let mut svc =
+            WebmailService::new(ServiceConfig::default(), Geolocator::new(plan, geo, tor));
         let id = svc
             .create_account(
                 "h@honeymail.example",
@@ -233,9 +266,16 @@ mod tests {
     fn scrape_sees_attacker_access() {
         let (mut svc, mut scraper, id) = world();
         // Attacker logs in from Brazil.
-        let ip = svc.geolocator().plan().sample_host("BR", &mut Rng::seed_from(1));
+        let ip = svc
+            .geolocator()
+            .plan()
+            .sample_host("BR", &mut Rng::seed_from(1));
         let loc = svc.geolocator().locate(ip);
-        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Chrome, Os::Windows), loc.point);
+        let conn = ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Chrome, Os::Windows),
+            loc.point,
+        );
         svc.login("h@honeymail.example", "pw", &conn, SimTime::from_secs(100))
             .unwrap();
 
@@ -260,13 +300,21 @@ mod tests {
     fn hijack_is_detected_and_scraping_stops() {
         let (mut svc, mut scraper, id) = world();
         // Attacker hijacks.
-        let ip = svc.geolocator().plan().sample_host("RO", &mut Rng::seed_from(2));
+        let ip = svc
+            .geolocator()
+            .plan()
+            .sample_host("RO", &mut Rng::seed_from(2));
         let loc = svc.geolocator().locate(ip);
-        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Opera, Os::Windows), loc.point);
+        let conn = ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Opera, Os::Windows),
+            loc.point,
+        );
         let (session, _) = svc
             .login("h@honeymail.example", "pw", &conn, SimTime::from_secs(50))
             .unwrap();
-        svc.change_password(session, "stolen", SimTime::from_secs(60)).unwrap();
+        svc.change_password(session, "stolen", SimTime::from_secs(60))
+            .unwrap();
 
         match scraper.scrape(&mut svc, id, SimTime::from_secs(100)) {
             ScrapeOutcome::HijackDetected => {}
@@ -296,9 +344,16 @@ mod tests {
     #[test]
     fn exported_dumps_reparse_to_the_same_rows() {
         let (mut svc, mut scraper, id) = world();
-        let ip = svc.geolocator().plan().sample_host("DE", &mut Rng::seed_from(9));
+        let ip = svc
+            .geolocator()
+            .plan()
+            .sample_host("DE", &mut Rng::seed_from(9));
         let loc = svc.geolocator().locate(ip);
-        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Firefox, Os::Linux), loc.point);
+        let conn = ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Firefox, Os::Linux),
+            loc.point,
+        );
         svc.login("h@honeymail.example", "pw", &conn, SimTime::from_secs(50))
             .unwrap();
         scraper.scrape(&mut svc, id, SimTime::from_secs(100));

@@ -16,7 +16,8 @@
 
 use crate::collector::{Notification, NotificationCollector, NotificationKind};
 use pwnd_corpus::email::{Email, EmailId, MailTime};
-use pwnd_sim::{SimTime, SimDuration};
+use pwnd_sim::{SimDuration, SimTime};
+use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
 use pwnd_webmail::events::WebmailEvent;
 use pwnd_webmail::service::WebmailService;
@@ -97,6 +98,7 @@ pub struct ScriptRuntime {
     scripts: HashMap<AccountId, ScriptState>,
     next_quota_email_id: u64,
     quota_notices_sent: u64,
+    telemetry: TelemetrySink,
 }
 
 impl ScriptRuntime {
@@ -107,7 +109,14 @@ impl ScriptRuntime {
             scripts: HashMap::new(),
             next_quota_email_id: 20_000_000,
             quota_notices_sent: 0,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink (`monitor.scripts_deleted`,
+    /// `monitor.quota_notices`, and one `heartbeat` trace per tick).
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Install the monitoring script on an account.
@@ -162,6 +171,7 @@ impl ScriptRuntime {
         };
         if roll < p {
             s.deleted = true;
+            self.telemetry.count("monitor.scripts_deleted");
             true
         } else {
             false
@@ -250,11 +260,20 @@ impl ScriptRuntime {
                         .get(*email)
                         .map(|e| e.email.full_text())
                         .unwrap_or_default();
-                    Some((NotificationKind::Opened { email: *email, text }, *at, cookie_of(ev)))
+                    Some((
+                        NotificationKind::Opened {
+                            email: *email,
+                            text,
+                        },
+                        *at,
+                        cookie_of(ev),
+                    ))
                 }
-                WebmailEvent::EmailStarred { email, at, .. } => {
-                    Some((NotificationKind::Starred { email: *email }, *at, cookie_of(ev)))
-                }
+                WebmailEvent::EmailStarred { email, at, .. } => Some((
+                    NotificationKind::Starred { email: *email },
+                    *at,
+                    cookie_of(ev),
+                )),
                 WebmailEvent::EmailSent {
                     email,
                     at,
@@ -274,7 +293,14 @@ impl ScriptRuntime {
                         .get(*email)
                         .map(|e| e.email.full_text())
                         .unwrap_or_default();
-                    Some((NotificationKind::DraftCopy { email: *email, text }, *at, cookie_of(ev)))
+                    Some((
+                        NotificationKind::DraftCopy {
+                            email: *email,
+                            text,
+                        },
+                        *at,
+                        cookie_of(ev),
+                    ))
                 }
                 // Logins, password changes and blocks are invisible to
                 // Apps Script — only the scraper learns about those.
@@ -315,10 +341,12 @@ impl ScriptRuntime {
             .map(|(&a, _)| a)
             .collect();
         accounts.sort_unstable();
+        let mut beating = 0u64;
         for account in accounts {
             if !service.account(account).state.is_active() {
                 continue;
             }
+            beating += 1;
             collector.receive(Notification {
                 account,
                 at,
@@ -335,6 +363,11 @@ impl ScriptRuntime {
                 s.emitted += 1;
             }
         }
+        // One trace record per daily tick, not per account.
+        self.telemetry
+            .trace_with(at.as_secs(), "heartbeat", None, || {
+                format!("accounts={beating}")
+            });
     }
 
     /// Number of "too much computer time" notices delivered so far.
@@ -342,10 +375,16 @@ impl ScriptRuntime {
         self.quota_notices_sent
     }
 
-    fn deliver_quota_notice(&mut self, account: AccountId, at: SimTime, service: &mut WebmailService) {
+    fn deliver_quota_notice(
+        &mut self,
+        account: AccountId,
+        at: SimTime,
+        service: &mut WebmailService,
+    ) {
         let id = EmailId(self.next_quota_email_id);
         self.next_quota_email_id += 1;
         self.quota_notices_sent += 1;
+        self.telemetry.count("monitor.quota_notices");
         // The platform emails the account owner directly; the notice lands
         // in the honey inbox where an attacker may open it (§4.4).
         service.seed_mailbox(
@@ -457,7 +496,11 @@ mod tests {
     fn attacker_session(svc: &mut WebmailService, rng: &mut Rng, at: SimTime) -> SessionId {
         let ip = svc.geolocator().plan().sample_host("RU", rng);
         let loc = svc.geolocator().locate(ip);
-        let conn = ConnectionInfo::new(ip, ClientConfig::plain(Browser::Firefox, Os::Windows), loc.point);
+        let conn = ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Firefox, Os::Windows),
+            loc.point,
+        );
         svc.login("h@honeymail.example", "pw", &conn, at).unwrap().0
     }
 
@@ -466,7 +509,8 @@ mod tests {
         let (mut svc, mut rt, mut col, mut rng) = world();
         let acct = honey(&mut svc, &mut rt);
         let s = attacker_session(&mut svc, &mut rng, SimTime::from_secs(10));
-        svc.open_email(s, EmailId(1), SimTime::from_secs(20)).unwrap();
+        svc.open_email(s, EmailId(1), SimTime::from_secs(20))
+            .unwrap();
         let events = svc.drain_events();
         rt.process_events(&events, &mut svc, &mut col);
         let opened: Vec<_> = col
@@ -488,7 +532,8 @@ mod tests {
         assert!(rt.attacker_rummage(acct, 0.0)); // roll under p: found
         assert!(!rt.is_alive(acct));
         let s = attacker_session(&mut svc, &mut rng, SimTime::from_secs(10));
-        svc.open_email(s, EmailId(1), SimTime::from_secs(20)).unwrap();
+        svc.open_email(s, EmailId(1), SimTime::from_secs(20))
+            .unwrap();
         let events = svc.drain_events();
         rt.process_events(&events, &mut svc, &mut col);
         assert_eq!(col.activity_count(), 0);
@@ -513,7 +558,11 @@ mod tests {
         svc.admin_block(acct, SimTime::from_secs(200));
         rt.heartbeat_tick(SimTime::from_secs(300), &mut svc, &mut col);
         assert_eq!(col.last_heartbeat(acct), Some(SimTime::from_secs(100)));
-        let silent = rt.silent_accounts(&col, SimTime::ZERO + SimDuration::days(2), SimDuration::days(1));
+        let silent = rt.silent_accounts(
+            &col,
+            SimTime::ZERO + SimDuration::days(2),
+            SimDuration::days(1),
+        );
         assert_eq!(silent, vec![acct]);
     }
 
@@ -525,7 +574,8 @@ mod tests {
         // 90min/day at 45s per trigger = 120 triggers to exhaust.
         let before = svc.mailbox(acct).len();
         for i in 0..130u64 {
-            svc.open_email(s, EmailId(1), SimTime::from_secs(20 + i)).unwrap();
+            svc.open_email(s, EmailId(1), SimTime::from_secs(20 + i))
+                .unwrap();
             let events = svc.drain_events();
             rt.process_events(&events, &mut svc, &mut col);
         }
@@ -539,7 +589,8 @@ mod tests {
             .unwrap();
         // An attacker can open the notice — and that open is itself
         // reported (the §4.4 case study).
-        svc.open_email(s, notice_id, SimTime::from_secs(500)).unwrap();
+        svc.open_email(s, notice_id, SimTime::from_secs(500))
+            .unwrap();
         let events = svc.drain_events();
         rt.process_events(&events, &mut svc, &mut col);
         assert!(col.all().iter().any(|n| matches!(
@@ -553,7 +604,10 @@ mod tests {
         let (mut svc, mut rt, mut col, mut rng) = world();
         let acct = honey(&mut svc, &mut rt);
         let s = attacker_session(&mut svc, &mut rng, SimTime::from_secs(10));
-        let exhaust = |svc: &mut WebmailService, rt: &mut ScriptRuntime, col: &mut NotificationCollector, base: SimTime| {
+        let exhaust = |svc: &mut WebmailService,
+                       rt: &mut ScriptRuntime,
+                       col: &mut NotificationCollector,
+                       base: SimTime| {
             for i in 0..130u64 {
                 svc.open_email(s, EmailId(1), base + SimDuration::from_secs(20 + i))
                     .unwrap();
@@ -565,10 +619,20 @@ mod tests {
         let day1 = svc.mailbox(acct).len();
         // Next day: quota resets, but the platform digest is throttled —
         // no second notice inside the cooldown window.
-        exhaust(&mut svc, &mut rt, &mut col, SimTime::ZERO + SimDuration::days(1));
+        exhaust(
+            &mut svc,
+            &mut rt,
+            &mut col,
+            SimTime::ZERO + SimDuration::days(1),
+        );
         assert_eq!(svc.mailbox(acct).len(), day1);
         // After the cooldown (default 10 days) a new notice is delivered.
-        exhaust(&mut svc, &mut rt, &mut col, SimTime::ZERO + SimDuration::days(11));
+        exhaust(
+            &mut svc,
+            &mut rt,
+            &mut col,
+            SimTime::ZERO + SimDuration::days(11),
+        );
         assert_eq!(svc.mailbox(acct).len(), day1 + 1);
     }
 }

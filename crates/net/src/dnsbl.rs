@@ -48,7 +48,9 @@ impl Blacklist {
     /// (Spamhaus listings persist; the first listing time is what matters
     /// for "was it listed when we saw it").
     pub fn list(&mut self, ip: Ipv4Addr, at: SimTime, reason: ListingReason) {
-        self.entries.entry(ip).or_insert(Listing { since: at, reason });
+        self.entries
+            .entry(ip)
+            .or_insert(Listing { since: at, reason });
     }
 
     /// Whether `ip` is listed at time `at`.

@@ -181,7 +181,10 @@ impl GeoDb {
 
     /// All cities in `country` (ISO alpha-2).
     pub fn cities_in(&self, country: &str) -> Vec<&'static City> {
-        self.cities.iter().filter(|c| c.country == country).collect()
+        self.cities
+            .iter()
+            .filter(|c| c.country == country)
+            .collect()
     }
 
     /// Number of distinct countries in the gazetteer.
@@ -255,8 +258,14 @@ mod tests {
 
     #[test]
     fn haversine_is_symmetric_and_zero_on_diagonal() {
-        let a = GeoPoint { lat: 10.0, lon: 20.0 };
-        let b = GeoPoint { lat: -33.0, lon: 151.0 };
+        let a = GeoPoint {
+            lat: 10.0,
+            lon: 20.0,
+        };
+        let b = GeoPoint {
+            lat: -33.0,
+            lon: 151.0,
+        };
         assert_eq!(haversine_km(a, a), 0.0);
         let d1 = haversine_km(a, b);
         let d2 = haversine_km(b, a);
@@ -300,7 +309,10 @@ mod tests {
         let db = GeoDb::new();
         let mut rng = Rng::seed_from(3);
         // Middle of the South Atlantic with a tiny radius: no city matches.
-        let remote = GeoPoint { lat: -40.0, lon: -20.0 };
+        let remote = GeoPoint {
+            lat: -40.0,
+            lon: -20.0,
+        };
         let c = db.sample_near(remote, 1.0, &mut rng);
         // Falls back to the nearest gazetteer city rather than panicking.
         assert!(!c.name.is_empty());

@@ -73,9 +73,8 @@ impl Geolocator {
         let h = (o[0] as u64) << 16 | (o[1] as u64) << 8 | o[2] as u64;
         // Weight by city weight using the hash as a fixed-point fraction.
         let total: f64 = pool.iter().map(|c| c.weight).sum();
-        let mut target = (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64
-            / (1u64 << 53) as f64
-            * total;
+        let mut target =
+            (h.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11) as f64 / (1u64 << 53) as f64 * total;
         for c in &pool {
             target -= c.weight;
             if target < 0.0 {

@@ -58,10 +58,8 @@ impl AddressPlan {
                 next += 1;
                 // Skip loopback (127.x), private 10.x and 172.16-31.x,
                 // and anything at/above the Tor block.
-                let skip = a == 10
-                    || a == 127
-                    || (a == 172 && (16..=31).contains(&b))
-                    || a >= TOR_BLOCK;
+                let skip =
+                    a == 10 || a == 127 || (a == 172 && (16..=31).contains(&b)) || a >= TOR_BLOCK;
                 if !skip {
                     return (a, b);
                 }

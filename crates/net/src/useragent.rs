@@ -92,7 +92,13 @@ pub enum Os {
 
 impl Os {
     /// All identifiable operating systems (excludes [`Os::Unknown`]).
-    pub const IDENTIFIABLE: [Os; 5] = [Os::Windows, Os::MacOsX, Os::Linux, Os::Android, Os::ChromeOs];
+    pub const IDENTIFIABLE: [Os; 5] = [
+        Os::Windows,
+        Os::MacOsX,
+        Os::Linux,
+        Os::Android,
+        Os::ChromeOs,
+    ];
 
     /// Display label matching the paper's figures.
     pub fn label(self) -> &'static str {

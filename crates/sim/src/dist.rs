@@ -107,7 +107,10 @@ pub struct Pareto {
 impl Pareto {
     /// Construct; panics on non-positive parameters.
     pub fn new(xm: f64, alpha: f64) -> Pareto {
-        assert!(xm > 0.0 && alpha > 0.0, "Pareto parameters must be positive");
+        assert!(
+            xm > 0.0 && alpha > 0.0,
+            "Pareto parameters must be positive"
+        );
         Pareto { xm, alpha }
     }
 

@@ -5,6 +5,7 @@ use pwnd_sim::dist::{Exp, LogNormal, Pareto, Zipf};
 use pwnd_sim::event::EventQueue;
 use pwnd_sim::rng::Rng;
 use pwnd_sim::time::{CalendarDate, SimDuration, SimTime};
+use pwnd_telemetry::TelemetrySink;
 
 proptest! {
     /// Popping the queue always yields non-decreasing timestamps, for any
@@ -127,5 +128,34 @@ proptest! {
         let t = SimTime::from_secs(base);
         let dur = SimDuration::from_secs(d);
         prop_assert_eq!(((t + dur) - t).as_secs(), d);
+    }
+
+    /// With telemetry attached, the dispatch counter equals the number of
+    /// events actually popped, the schedule counter equals the number
+    /// scheduled, and the depth high-water gauge is exactly the deepest
+    /// the queue ever got (hence ≥ the final depth) — for any interleaving
+    /// of schedules and pops.
+    #[test]
+    fn queue_telemetry_tracks_ops(ops in proptest::collection::vec((0u64..1_000, any::<bool>()), 1..200)) {
+        let sink = TelemetrySink::enabled();
+        let mut q = EventQueue::new().with_telemetry(sink.clone());
+        let mut scheduled = 0u64;
+        let mut popped = 0u64;
+        let mut max_depth = 0u64;
+        for &(t, push) in &ops {
+            if push {
+                q.schedule(SimTime::from_secs(t), ());
+                scheduled += 1;
+                max_depth = max_depth.max(q.len() as u64);
+            } else if q.pop().is_some() {
+                popped += 1;
+            }
+        }
+        let m = sink.report().metrics;
+        prop_assert_eq!(m.counter("sim.events_scheduled"), scheduled);
+        prop_assert_eq!(m.counter("sim.events_dispatched"), popped);
+        let high_water = m.gauge("queue.depth_high_water");
+        prop_assert_eq!(high_water, max_depth);
+        prop_assert!(high_water >= q.len() as u64);
     }
 }

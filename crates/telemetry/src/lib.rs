@@ -1,0 +1,55 @@
+#![warn(missing_docs)]
+
+//! # pwnd-telemetry — observability for the simulation stack
+//!
+//! The paper's contribution is *observation*: honey accounts are only as
+//! good as the instrumentation watching them. This crate gives the
+//! simulator the same treatment — a first-class observability layer with
+//! three facets, all reached through one handle, [`TelemetrySink`]:
+//!
+//! 1. a **metrics registry** ([`metrics`]) of named counters, gauges,
+//!    and log-bucketed histograms, optionally labelled
+//!    (`webmail.logins{outcome}`, `sim.events_dispatched{kind}`, …);
+//! 2. a **structured trace** ([`trace`]) of sim-time-stamped
+//!    [`TraceEvent`] records in a bounded ring buffer with JSONL export;
+//! 3. a **wall-clock phase profiler** ([`profile`]) of spans around the
+//!    experiment's stages, rendered as a phase-time table.
+//!
+//! ## The zero-overhead contract
+//!
+//! A disabled sink (the default) holds no allocation at all: every
+//! recording method is a single `Option` branch, trace-detail closures
+//! are never evaluated, and span guards are empty. Crucially, telemetry
+//! **never consumes simulation RNG** and never feeds back into the
+//! model, so enabling or disabling it cannot change a run's outcome —
+//! `crates/core` has a test proving the exported dataset is
+//! byte-identical either way.
+//!
+//! The crate sits below `pwnd-sim` in the dependency order, so it speaks
+//! raw `u64` seconds rather than `SimTime` and has no dependencies.
+//!
+//! ```
+//! use pwnd_telemetry::TelemetrySink;
+//!
+//! let sink = TelemetrySink::enabled();
+//! sink.count_labeled("webmail.logins", "ok");
+//! sink.trace(86_400, "login", Some(3));
+//! let report = sink.report();
+//! assert_eq!(report.counter("webmail.logins"), 1);
+//! ```
+
+pub mod json;
+pub mod metrics;
+pub mod profile;
+pub mod report;
+pub mod sink;
+pub mod table;
+pub mod trace;
+
+pub use json::{Json, JsonError};
+pub use metrics::{HistogramSummary, MetricsSnapshot};
+pub use profile::PhaseSummary;
+pub use report::TelemetryReport;
+pub use sink::{SpanGuard, TelemetrySink};
+pub use table::Table;
+pub use trace::TraceEvent;

@@ -1,0 +1,86 @@
+//! Wall-clock phase profiling.
+//!
+//! The experiment wraps each stage (corpus generation, leak execution,
+//! the main event loop, scraping, dataset build, analysis) in a span;
+//! the profiler accumulates per-phase wall time and entry counts,
+//! preserving first-entry order so the report reads like the run.
+//!
+//! Wall-clock readings never touch simulation state, so profiling is
+//! invisible to determinism — but phase timings are *excluded* from
+//! snapshot equality since two identical runs still differ in wall
+//! time.
+
+use std::time::Duration;
+
+#[derive(Clone, Debug)]
+struct Phase {
+    name: &'static str,
+    total: Duration,
+    entries: u32,
+}
+
+/// Accumulates span durations per phase.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    phases: Vec<Phase>,
+}
+
+impl Profiler {
+    /// Fold one finished span into its phase.
+    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+        match self.phases.iter_mut().find(|p| p.name == name) {
+            Some(p) => {
+                p.total += elapsed;
+                p.entries += 1;
+            }
+            None => self.phases.push(Phase {
+                name,
+                total: elapsed,
+                entries: 1,
+            }),
+        }
+    }
+
+    /// Per-phase summaries, in first-entry order.
+    pub fn summaries(&self) -> Vec<PhaseSummary> {
+        self.phases
+            .iter()
+            .map(|p| PhaseSummary {
+                name: p.name.to_string(),
+                total: p.total,
+                entries: p.entries,
+            })
+            .collect()
+    }
+}
+
+/// Wall-clock totals for one phase.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseSummary {
+    /// Phase name (`"corpus"`, `"event-loop"`, …).
+    pub name: String,
+    /// Accumulated wall time across entries.
+    pub total: Duration,
+    /// Number of spans folded in.
+    pub entries: u32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_accumulate_in_first_entry_order() {
+        let mut p = Profiler::default();
+        p.record("corpus", Duration::from_millis(5));
+        p.record("event-loop", Duration::from_millis(10));
+        p.record("corpus", Duration::from_millis(7));
+        let s = p.summaries();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].name, "corpus");
+        assert_eq!(s[0].total, Duration::from_millis(12));
+        assert_eq!(s[0].entries, 2);
+        assert_eq!(s[1].name, "event-loop");
+        assert_eq!(s[1].entries, 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Point-in-time reports: what a run recorded, rendered for humans.
+
+use crate::metrics::MetricsSnapshot;
+use crate::profile::PhaseSummary;
+use crate::table::Table;
+use crate::trace::TraceEvent;
+use std::time::Duration;
+
+/// Everything a sink recorded, frozen at one instant.
+///
+/// Equality compares metrics and trace only — phase timings are wall
+/// clock and differ between identical runs by construction.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetryReport {
+    /// Counter / gauge / histogram snapshot.
+    pub metrics: MetricsSnapshot,
+    /// Trace events currently in the ring, oldest first.
+    pub trace: Vec<TraceEvent>,
+    /// Trace events evicted because the ring was full.
+    pub trace_dropped: u64,
+    /// Wall-clock phase totals, first-entry order.
+    pub phases: Vec<PhaseSummary>,
+}
+
+impl PartialEq for TelemetryReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.metrics == other.metrics
+            && self.trace == other.trace
+            && self.trace_dropped == other.trace_dropped
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let secs = d.as_secs_f64();
+    if secs >= 1.0 {
+        format!("{secs:.2}s")
+    } else if secs >= 1e-3 {
+        format!("{:.2}ms", secs * 1e3)
+    } else {
+        format!("{:.0}µs", secs * 1e6)
+    }
+}
+
+impl TelemetryReport {
+    /// Sum of all counter series with base name `name` (see
+    /// [`MetricsSnapshot::counter`]).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.metrics.counter(name)
+    }
+
+    /// The phase-time table (`--profile` output).
+    pub fn phase_table(&self) -> String {
+        let total: Duration = self.phases.iter().map(|p| p.total).sum();
+        let mut t = Table::new(&["phase", "wall time", "share", "entries"]).numeric();
+        for p in &self.phases {
+            let share = if total.is_zero() {
+                0.0
+            } else {
+                100.0 * p.total.as_secs_f64() / total.as_secs_f64()
+            };
+            t.row([
+                p.name.clone(),
+                fmt_duration(p.total),
+                format!("{share:.1}%"),
+                p.entries.to_string(),
+            ]);
+        }
+        t.row([
+            "total".to_string(),
+            fmt_duration(total),
+            String::new(),
+            String::new(),
+        ]);
+        t.render()
+    }
+
+    /// The metrics summary: counters, gauges, then histograms.
+    pub fn metrics_table(&self) -> String {
+        let mut out = String::new();
+        if !self.metrics.counters.is_empty() {
+            let mut t = Table::new(&["counter", "value"]).numeric();
+            for (k, v) in &self.metrics.counters {
+                t.row([k.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.metrics.gauges.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let mut t = Table::new(&["gauge", "value"]).numeric();
+            for (k, v) in &self.metrics.gauges {
+                t.row([k.clone(), v.to_string()]);
+            }
+            out.push_str(&t.render());
+        }
+        if !self.metrics.histograms.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            let mut t = Table::new(&["histogram", "count", "min", "mean", "max"]).numeric();
+            for (k, h) in &self.metrics.histograms {
+                let s = h.summary();
+                t.row([
+                    k.clone(),
+                    s.count.to_string(),
+                    s.min.to_string(),
+                    format!("{:.1}", s.mean),
+                    s.max.to_string(),
+                ]);
+            }
+            out.push_str(&t.render());
+        }
+        out
+    }
+
+    /// Full human-readable rendering: phases, metrics, trace volume.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.phases.is_empty() {
+            out.push_str(&self.phase_table());
+            out.push('\n');
+        }
+        out.push_str(&self.metrics_table());
+        out.push_str(&format!(
+            "\ntrace: {} events held, {} dropped\n",
+            self.trace.len(),
+            self.trace_dropped
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TelemetrySink;
+
+    #[test]
+    fn equality_ignores_phases() {
+        let a = TelemetrySink::enabled();
+        let b = TelemetrySink::enabled();
+        a.count("x");
+        b.count("x");
+        drop(a.span("corpus"));
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn render_mentions_each_section() {
+        let sink = TelemetrySink::enabled();
+        sink.count_labeled("webmail.logins", "ok");
+        sink.gauge_max("queue.depth_high_water", 12);
+        sink.observe("security.risk_score_milli", 400);
+        drop(sink.span("event-loop"));
+        sink.trace(5, "login", Some(1));
+        let text = sink.report().render();
+        assert!(text.contains("event-loop"));
+        assert!(text.contains("webmail.logins{ok}"));
+        assert!(text.contains("queue.depth_high_water"));
+        assert!(text.contains("security.risk_score_milli"));
+        assert!(text.contains("trace: 1 events held"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00s");
+        assert_eq!(fmt_duration(Duration::from_millis(15)), "15.00ms");
+        assert_eq!(fmt_duration(Duration::from_micros(120)), "120µs");
+    }
+}

@@ -1,0 +1,244 @@
+//! The one handle everything instruments through.
+//!
+//! [`TelemetrySink`] is a cheap clonable facade over shared state. A
+//! disabled sink (the [`Default`]) holds `None` — no allocation, and
+//! every recording call is a single branch. An enabled sink shares one
+//! `Arc<Mutex<…>>` across every subsystem of a run, so the webmail
+//! service, the scraper, the leak outlets, and the event queue all feed
+//! the same registry, trace, and profiler.
+
+use crate::metrics::Registry;
+use crate::profile::Profiler;
+use crate::report::TelemetryReport;
+use crate::trace::{TraceBuffer, TraceEvent};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Instant;
+
+#[derive(Debug, Default)]
+struct Inner {
+    metrics: Registry,
+    trace: TraceBuffer,
+    profile: Profiler,
+}
+
+/// Shared telemetry handle. Clones observe the same underlying state;
+/// a disabled sink is a true no-op.
+#[derive(Clone, Debug, Default)]
+pub struct TelemetrySink {
+    inner: Option<Arc<Mutex<Inner>>>,
+}
+
+impl TelemetrySink {
+    /// A sink that records nothing and costs nothing.
+    pub fn disabled() -> TelemetrySink {
+        TelemetrySink { inner: None }
+    }
+
+    /// A live sink with the default trace capacity.
+    pub fn enabled() -> TelemetrySink {
+        TelemetrySink::with_trace_capacity(crate::trace::DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// A live sink holding at most `capacity` trace events.
+    pub fn with_trace_capacity(capacity: usize) -> TelemetrySink {
+        TelemetrySink {
+            inner: Some(Arc::new(Mutex::new(Inner {
+                trace: TraceBuffer::with_capacity(capacity),
+                ..Inner::default()
+            }))),
+        }
+    }
+
+    /// Whether this sink records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    fn with<R>(&self, f: impl FnOnce(&mut Inner) -> R) -> Option<R> {
+        self.inner
+            .as_ref()
+            .map(|m| f(&mut m.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    // ---- metrics -------------------------------------------------------
+
+    /// Increment a counter by one.
+    pub fn count(&self, name: &'static str) {
+        self.count_by(name, 1);
+    }
+
+    /// Increment a counter by `n`.
+    pub fn count_by(&self, name: &'static str, n: u64) {
+        self.with(|i| i.metrics.count_by(name, None, n));
+    }
+
+    /// Increment a labelled counter (`name{label}`) by one.
+    pub fn count_labeled(&self, name: &'static str, label: &str) {
+        self.count_labeled_by(name, label, 1);
+    }
+
+    /// Increment a labelled counter by `n`.
+    pub fn count_labeled_by(&self, name: &'static str, label: &str, n: u64) {
+        self.with(|i| i.metrics.count_by(name, Some(label), n));
+    }
+
+    /// Set a gauge.
+    pub fn gauge_set(&self, name: &'static str, value: u64) {
+        self.with(|i| i.metrics.gauge_set(name, None, value));
+    }
+
+    /// Raise a gauge if `value` exceeds it (high-water mark).
+    pub fn gauge_max(&self, name: &'static str, value: u64) {
+        self.with(|i| i.metrics.gauge_max(name, None, value));
+    }
+
+    /// Record a histogram observation.
+    pub fn observe(&self, name: &'static str, value: u64) {
+        self.with(|i| i.metrics.observe(name, None, value));
+    }
+
+    // ---- trace ---------------------------------------------------------
+
+    /// Record a trace event with no detail.
+    pub fn trace(&self, at_secs: u64, kind: &'static str, account: Option<u32>) {
+        self.with(|i| {
+            i.trace.push(TraceEvent {
+                at_secs,
+                kind,
+                account,
+                detail: String::new(),
+            })
+        });
+    }
+
+    /// Record a trace event whose detail string is built only when the
+    /// sink is enabled — disabled runs never evaluate `detail`.
+    pub fn trace_with(
+        &self,
+        at_secs: u64,
+        kind: &'static str,
+        account: Option<u32>,
+        detail: impl FnOnce() -> String,
+    ) {
+        self.with(|i| {
+            i.trace.push(TraceEvent {
+                at_secs,
+                kind,
+                account,
+                detail: detail(),
+            })
+        });
+    }
+
+    // ---- profiling -----------------------------------------------------
+
+    /// Open a wall-clock span for `phase`; the time from now until the
+    /// guard drops is folded into that phase's total.
+    pub fn span(&self, phase: &'static str) -> SpanGuard {
+        SpanGuard {
+            sink: self.inner.clone(),
+            phase,
+            started: Instant::now(),
+        }
+    }
+
+    // ---- export --------------------------------------------------------
+
+    /// Point-in-time report of everything recorded so far. Empty for a
+    /// disabled sink.
+    pub fn report(&self) -> TelemetryReport {
+        self.with(|i| TelemetryReport {
+            metrics: i.metrics.snapshot(),
+            trace: i.trace.snapshot(),
+            trace_dropped: i.trace.dropped(),
+            phases: i.profile.summaries(),
+        })
+        .unwrap_or_default()
+    }
+
+    /// The trace as JSONL (one event per line); empty when disabled.
+    pub fn trace_jsonl(&self) -> String {
+        self.with(|i| i.trace.to_jsonl()).unwrap_or_default()
+    }
+}
+
+/// RAII guard for one profiling span (see [`TelemetrySink::span`]).
+#[must_use = "a span guard records its phase when dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    sink: Option<Arc<Mutex<Inner>>>,
+    phase: &'static str,
+    started: Instant,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(m) = &self.sink {
+            let elapsed = self.started.elapsed();
+            m.lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .profile
+                .record(self.phase, elapsed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing_and_skips_closures() {
+        let sink = TelemetrySink::disabled();
+        assert!(!sink.is_enabled());
+        sink.count("x");
+        let mut evaluated = false;
+        sink.trace_with(1, "login", None, || {
+            evaluated = true;
+            "detail".to_string()
+        });
+        assert!(!evaluated, "detail closure must not run when disabled");
+        let report = sink.report();
+        assert!(report.metrics.counters.is_empty());
+        assert!(report.trace.is_empty());
+        assert!(report.phases.is_empty());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let sink = TelemetrySink::enabled();
+        let other = sink.clone();
+        sink.count("a");
+        other.count("a");
+        other.count_labeled("b", "x");
+        assert_eq!(sink.report().metrics.counter("a"), 2);
+        assert_eq!(sink.report().metrics.counter("b"), 1);
+    }
+
+    #[test]
+    fn spans_accumulate_phases() {
+        let sink = TelemetrySink::enabled();
+        {
+            let _outer = sink.span("event-loop");
+            let _inner = sink.span("scrape");
+        }
+        {
+            let _again = sink.span("scrape");
+        }
+        let report = sink.report();
+        let names: Vec<&str> = report.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["scrape", "event-loop"]);
+        assert_eq!(report.phases[0].entries, 2);
+    }
+
+    #[test]
+    fn trace_round_trips_through_report() {
+        let sink = TelemetrySink::enabled();
+        sink.trace(100, "login", Some(4));
+        sink.trace_with(200, "sale", None, || "wave=1".to_string());
+        let report = sink.report();
+        assert_eq!(report.trace.len(), 2);
+        assert_eq!(report.trace[1].detail, "wave=1");
+        assert_eq!(sink.trace_jsonl().lines().count(), 2);
+    }
+}

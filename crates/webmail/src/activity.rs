@@ -103,7 +103,10 @@ mod tests {
             location: GeoLocation {
                 country: Some("GB"),
                 city: "London",
-                point: GeoPoint { lat: 51.5, lon: -0.1 },
+                point: GeoPoint {
+                    lat: 51.5,
+                    lon: -0.1,
+                },
             },
             fingerprint: Fingerprint {
                 browser: Browser::Chrome,

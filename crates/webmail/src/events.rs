@@ -127,12 +127,42 @@ mod tests {
         let t = SimTime::from_secs(99);
         let c = CookieId(1);
         let events = vec![
-            WebmailEvent::LoginSucceeded { account: a, cookie: c, at: t },
-            WebmailEvent::EmailOpened { account: a, email: EmailId(1), cookie: c, at: t },
-            WebmailEvent::EmailStarred { account: a, email: EmailId(1), cookie: c, at: t },
-            WebmailEvent::EmailSent { account: a, email: EmailId(1), cookie: c, at: t, recipients: 2 },
-            WebmailEvent::DraftCreated { account: a, email: EmailId(1), cookie: c, at: t },
-            WebmailEvent::PasswordChanged { account: a, cookie: c, at: t, via_tor: true },
+            WebmailEvent::LoginSucceeded {
+                account: a,
+                cookie: c,
+                at: t,
+            },
+            WebmailEvent::EmailOpened {
+                account: a,
+                email: EmailId(1),
+                cookie: c,
+                at: t,
+            },
+            WebmailEvent::EmailStarred {
+                account: a,
+                email: EmailId(1),
+                cookie: c,
+                at: t,
+            },
+            WebmailEvent::EmailSent {
+                account: a,
+                email: EmailId(1),
+                cookie: c,
+                at: t,
+                recipients: 2,
+            },
+            WebmailEvent::DraftCreated {
+                account: a,
+                email: EmailId(1),
+                cookie: c,
+                at: t,
+            },
+            WebmailEvent::PasswordChanged {
+                account: a,
+                cookie: c,
+                at: t,
+                via_tor: true,
+            },
             WebmailEvent::AccountBlocked { account: a, at: t },
         ];
         for e in events {

@@ -138,8 +138,11 @@ impl Mailbox {
 
     /// Ids in a folder, newest first (Gmail's default ordering).
     pub fn list(&self, folder: Folder) -> Vec<EmailId> {
-        let mut v: Vec<(&EmailId, &Entry)> =
-            self.entries.iter().filter(|(_, e)| e.folder == folder).collect();
+        let mut v: Vec<(&EmailId, &Entry)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.folder == folder)
+            .collect();
         v.sort_by_key(|(_, e)| std::cmp::Reverse(e.email.timestamp));
         v.into_iter().map(|(id, _)| *id).collect()
     }
@@ -208,7 +211,10 @@ mod tests {
         mb.deliver(email(1, -300));
         mb.deliver(email(2, -100));
         mb.deliver(email(3, -200));
-        assert_eq!(mb.list(Folder::Inbox), vec![EmailId(2), EmailId(3), EmailId(1)]);
+        assert_eq!(
+            mb.list(Folder::Inbox),
+            vec![EmailId(2), EmailId(3), EmailId(1)]
+        );
     }
 
     #[test]

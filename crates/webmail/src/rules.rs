@@ -28,9 +28,8 @@ pub enum Matcher {
 impl Matcher {
     /// Whether this matcher fires for `email`.
     pub fn matches(&self, email: &Email) -> bool {
-        let has = |haystack: &str, needle: &str| {
-            haystack.to_lowercase().contains(&needle.to_lowercase())
-        };
+        let has =
+            |haystack: &str, needle: &str| haystack.to_lowercase().contains(&needle.to_lowercase());
         match self {
             Matcher::FromContains(n) => has(&email.from, n),
             Matcher::SubjectContains(n) => has(&email.subject, n),

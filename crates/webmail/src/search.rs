@@ -49,7 +49,11 @@ impl SearchIndex {
     pub fn build(mailbox: &Mailbox) -> SearchIndex {
         let mut idx = SearchIndex::new();
         for entry in mailbox.iter() {
-            idx.add(entry.email.id, &entry.email.full_text(), entry.email.timestamp);
+            idx.add(
+                entry.email.id,
+                &entry.email.full_text(),
+                entry.email.timestamp,
+            );
         }
         idx
     }
@@ -79,7 +83,10 @@ impl SearchIndex {
             }
             let mut hits: Vec<EmailId> = acc.unwrap_or_default().into_iter().collect();
             hits.sort_by_key(|id| {
-                (std::cmp::Reverse(self.recency.get(id).copied().unwrap_or(MailTime(i64::MIN))), *id)
+                (
+                    std::cmp::Reverse(self.recency.get(id).copied().unwrap_or(MailTime(i64::MIN))),
+                    *id,
+                )
             });
             hits
         };
@@ -123,7 +130,11 @@ mod tests {
 
     fn index() -> SearchIndex {
         let mut mb = Mailbox::new();
-        mb.deliver(mk(1, "Payment schedule", "the wire transfer payment is due"));
+        mb.deliver(mk(
+            1,
+            "Payment schedule",
+            "the wire transfer payment is due",
+        ));
         mb.deliver(mk(2, "Lunch", "see you at noon"));
         mb.deliver(mk(3, "Account payment", "account number attached"));
         SearchIndex::build(&mb)
@@ -181,6 +192,9 @@ mod tests {
         let mut idx = SearchIndex::new();
         idx.add(EmailId(1), "payment new", MailTime(100));
         idx.add(EmailId(2), "payment old", MailTime(-100));
-        assert_eq!(idx.search("payment", SimTime::ZERO), vec![EmailId(1), EmailId(2)]);
+        assert_eq!(
+            idx.search("payment", SimTime::ZERO),
+            vec![EmailId(1), EmailId(2)]
+        );
     }
 }

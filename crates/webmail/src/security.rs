@@ -16,6 +16,7 @@
 
 use crate::account::AccountId;
 use pwnd_sim::{SimDuration, SimTime};
+use pwnd_telemetry::TelemetrySink;
 use std::collections::HashMap;
 
 /// Tunable security policy.
@@ -76,12 +77,22 @@ pub struct LoginSignals {
 #[derive(Clone, Debug)]
 pub struct RiskEngine {
     policy: SecurityPolicy,
+    telemetry: TelemetrySink,
 }
 
 impl RiskEngine {
     /// Build with a policy.
     pub fn new(policy: SecurityPolicy) -> RiskEngine {
-        RiskEngine { policy }
+        RiskEngine {
+            policy,
+            telemetry: TelemetrySink::disabled(),
+        }
+    }
+
+    /// Attach a telemetry sink; every scored login feeds the
+    /// `security.risk_score_milli` histogram.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     /// Risk score for a login. 0 is benign; ≥ `login_reject_threshold`
@@ -101,6 +112,8 @@ impl RiskEngine {
         if s.new_device {
             score += 0.5;
         }
+        self.telemetry
+            .observe("security.risk_score_milli", (score * 1000.0) as u64);
         score
     }
 
@@ -139,6 +152,7 @@ pub struct AbuseDetector {
     spam_scores: HashMap<AccountId, f64>,
     anomaly_scores: HashMap<AccountId, f64>,
     recent_sends: HashMap<AccountId, Vec<SimTime>>,
+    telemetry: TelemetrySink,
 }
 
 impl AbuseDetector {
@@ -149,19 +163,36 @@ impl AbuseDetector {
             spam_scores: HashMap::new(),
             anomaly_scores: HashMap::new(),
             recent_sends: HashMap::new(),
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink; threshold trips feed the
+    /// `security.spam_trips` / `security.anomaly_trips` counters.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.telemetry = sink;
     }
 
     fn add_spam(&mut self, account: AccountId, points: f64) -> bool {
         let s = self.spam_scores.entry(account).or_insert(0.0);
+        let was_below = *s < self.policy.spam_block_threshold;
         *s += points;
-        *s >= self.policy.spam_block_threshold
+        let tripped = *s >= self.policy.spam_block_threshold;
+        if tripped && was_below {
+            self.telemetry.count("security.spam_trips");
+        }
+        tripped
     }
 
     fn add_anomaly(&mut self, account: AccountId, points: f64) -> bool {
         let s = self.anomaly_scores.entry(account).or_insert(0.0);
+        let was_below = *s < self.policy.anomaly_block_threshold;
         *s += points;
-        *s >= self.policy.anomaly_block_threshold
+        let tripped = *s >= self.policy.anomaly_block_threshold;
+        if tripped && was_below {
+            self.telemetry.count("security.anomaly_trips");
+        }
+        tripped
     }
 
     /// Record an outbound send. Returns `true` if the account should now
@@ -279,8 +310,7 @@ mod tests {
         let acct = AccountId(1);
         let mut blocked = false;
         for i in 0..150 {
-            blocked =
-                det.note_send(acct, SimTime::from_secs(i * 30), 1, ContentFlags::default());
+            blocked = det.note_send(acct, SimTime::from_secs(i * 30), 1, ContentFlags::default());
             if blocked {
                 break;
             }

@@ -23,6 +23,7 @@ use pwnd_net::geo::{haversine_km, GeoPoint};
 use pwnd_net::geolocate::Geolocator;
 use pwnd_net::useragent;
 use pwnd_sim::SimTime;
+use pwnd_telemetry::TelemetrySink;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 
@@ -125,6 +126,7 @@ pub struct WebmailService {
     next_session: u64,
     next_cookie: u64,
     next_email_id: u64,
+    telemetry: TelemetrySink,
 }
 
 impl WebmailService {
@@ -154,7 +156,17 @@ impl WebmailService {
             // High base so attacker-composed mail never collides with
             // corpus-generated ids.
             next_email_id: 10_000_000,
+            telemetry: TelemetrySink::disabled(),
         }
+    }
+
+    /// Attach a telemetry sink, shared with the risk engine and abuse
+    /// detector. Login outcomes, mailbox operations, hijacks, and blocks
+    /// feed `webmail.*` counters and the trace.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink) {
+        self.risk.set_telemetry(sink.clone());
+        self.abuse.set_telemetry(sink.clone());
+        self.telemetry = sink;
     }
 
     // ------------------------------------------------------------------
@@ -193,8 +205,9 @@ impl WebmailService {
         self.mailboxes.push(Mailbox::new());
         self.indexes.push(SearchIndex::new());
         self.rules.push(RuleSet::new());
-        self.activity
-            .push(ActivityPage::with_capacity(self.config.activity_page_capacity));
+        self.activity.push(ActivityPage::with_capacity(
+            self.config.activity_page_capacity,
+        ));
         self.habitual.push(Vec::new());
         self.router.register(address.to_string(), id);
         Ok(id)
@@ -268,15 +281,26 @@ impl WebmailService {
         conn: &ConnectionInfo,
         at: SimTime,
     ) -> Result<(SessionId, CookieId), LoginError> {
-        let id = *self
-            .by_address
-            .get(address)
-            .ok_or(LoginError::BadCredentials)?;
+        let Some(&id) = self.by_address.get(address) else {
+            self.telemetry
+                .count_labeled("webmail.logins", "bad_credentials");
+            self.telemetry.trace(at.as_secs(), "login", None);
+            return Err(LoginError::BadCredentials);
+        };
         let idx = id.0 as usize;
         if self.accounts[idx].password != password {
+            self.telemetry
+                .count_labeled("webmail.logins", "bad_credentials");
+            self.telemetry
+                .trace_with(at.as_secs(), "login", Some(id.0), || {
+                    "bad_credentials".to_string()
+                });
             return Err(LoginError::BadCredentials);
         }
         if !self.accounts[idx].state.is_active() {
+            self.telemetry.count_labeled("webmail.logins", "blocked");
+            self.telemetry
+                .trace_with(at.as_secs(), "login", Some(id.0), || "blocked".to_string());
             return Err(LoginError::AccountBlocked);
         }
 
@@ -291,7 +315,17 @@ impl WebmailService {
             distance_from_habitual_km: distance,
             new_device: conn.cookie.is_none(),
         };
-        if self.risk.rejects(signals) {
+        // Scored exactly once per attempt (the score call also feeds the
+        // risk histogram when telemetry is live).
+        let score = self.risk.score(signals);
+        if self.config.security.login_filter_enabled
+            && score >= self.config.security.login_reject_threshold
+        {
+            self.telemetry.count_labeled("webmail.logins", "rejected");
+            self.telemetry
+                .trace_with(at.as_secs(), "login", Some(id.0), || {
+                    format!("rejected risk={score:.2}")
+                });
             return Err(LoginError::SuspiciousLogin);
         }
 
@@ -336,8 +370,12 @@ impl WebmailService {
             cookie,
             at,
         });
+        self.telemetry.count_labeled("webmail.logins", "ok");
+        self.telemetry
+            .trace_with(at.as_secs(), "login", Some(id.0), || {
+                format!("ok risk={score:.2}")
+            });
         // Even allowed logins feed the abuse detector's trickle.
-        let score = self.risk.score(signals);
         if self.abuse.note_login_risk(id, score) {
             self.block_account(id, at);
         }
@@ -363,7 +401,12 @@ impl WebmailService {
     }
 
     /// Open (read) a message. Emits [`WebmailEvent::EmailOpened`].
-    pub fn open_email(&mut self, session: SessionId, id: EmailId, at: SimTime) -> Result<Email, OpError> {
+    pub fn open_email(
+        &mut self,
+        session: SessionId,
+        id: EmailId,
+        at: SimTime,
+    ) -> Result<Email, OpError> {
         let (account, cookie, _) = self.session(session)?;
         let email = self.mailboxes[account.0 as usize]
             .open(id)
@@ -375,11 +418,17 @@ impl WebmailService {
             cookie,
             at,
         });
+        self.telemetry.count("webmail.opens");
         Ok(email)
     }
 
     /// Star a message. Emits [`WebmailEvent::EmailStarred`].
-    pub fn star_email(&mut self, session: SessionId, id: EmailId, at: SimTime) -> Result<(), OpError> {
+    pub fn star_email(
+        &mut self,
+        session: SessionId,
+        id: EmailId,
+        at: SimTime,
+    ) -> Result<(), OpError> {
         let (account, cookie, _) = self.session(session)?;
         if !self.mailboxes[account.0 as usize].star(id) {
             return Err(OpError::NoSuchEmail);
@@ -390,6 +439,7 @@ impl WebmailService {
             cookie,
             at,
         });
+        self.telemetry.count("webmail.stars");
         Ok(())
     }
 
@@ -401,6 +451,7 @@ impl WebmailService {
         at: SimTime,
     ) -> Result<Vec<EmailId>, OpError> {
         let (account, _, _) = self.session(session)?;
+        self.telemetry.count("webmail.searches");
         Ok(self.indexes[account.0 as usize].search(query, at))
     }
 
@@ -437,6 +488,7 @@ impl WebmailService {
             cookie,
             at,
         });
+        self.telemetry.count("webmail.drafts");
         Ok(id)
     }
 
@@ -473,6 +525,7 @@ impl WebmailService {
             at,
             recipients,
         });
+        self.telemetry.count("webmail.sends");
         if self.abuse.note_send(account, at, recipients, flags) {
             self.block_account(account, at);
         }
@@ -542,6 +595,11 @@ impl WebmailService {
             at,
             via_tor,
         });
+        self.telemetry.count("webmail.hijacks");
+        self.telemetry
+            .trace_with(at.as_secs(), "hijack", Some(account.0), || {
+                format!("password change via_tor={via_tor}")
+            });
         if self.abuse.note_password_change(account, via_tor) {
             self.block_account(account, at);
         }
@@ -562,7 +620,10 @@ impl WebmailService {
         let acct = &mut self.accounts[account.0 as usize];
         if acct.state.is_active() {
             acct.state = AccountState::Blocked { at };
-            self.events.push(WebmailEvent::AccountBlocked { account, at });
+            self.events
+                .push(WebmailEvent::AccountBlocked { account, at });
+            self.telemetry.count("webmail.blocks");
+            self.telemetry.trace(at.as_secs(), "block", Some(account.0));
         }
     }
 
@@ -640,7 +701,11 @@ mod tests {
     fn conn(svc: &WebmailService, rng: &mut Rng, country: &str) -> ConnectionInfo {
         let ip = svc.geolocator().plan().sample_host(country, rng);
         let loc = svc.geolocator().locate(ip);
-        ConnectionInfo::new(ip, ClientConfig::plain(Browser::Chrome, Os::Windows), loc.point)
+        ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Chrome, Os::Windows),
+            loc.point,
+        )
     }
 
     fn seeded_email(id: u64, body: &str) -> Email {
@@ -692,7 +757,12 @@ mod tests {
             .create_account("a4@honeymail.example", "pw", ip, SimTime::ZERO)
             .is_ok());
         assert_eq!(
-            svc.create_account("a0@honeymail.example", "pw", Ipv4Addr::new(1, 1, 1, 1), SimTime::ZERO),
+            svc.create_account(
+                "a0@honeymail.example",
+                "pw",
+                Ipv4Addr::new(1, 1, 1, 1),
+                SimTime::ZERO
+            ),
             Err(SignupError::AddressTaken)
         );
     }
@@ -703,18 +773,28 @@ mod tests {
         let id = setup_account(&mut svc);
         let c = conn(&svc, &mut rng, "GB");
         let (session, cookie) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(60))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(60),
+            )
             .unwrap();
         assert!(cookie.0 > 0);
 
         let inbox = svc.list_folder(session, Folder::Inbox).unwrap();
         assert_eq!(inbox.len(), 2);
 
-        let hits = svc.search(session, "payment", SimTime::from_secs(70)).unwrap();
+        let hits = svc
+            .search(session, "payment", SimTime::from_secs(70))
+            .unwrap();
         assert_eq!(hits, vec![EmailId(2)]);
-        let opened = svc.open_email(session, hits[0], SimTime::from_secs(80)).unwrap();
+        let opened = svc
+            .open_email(session, hits[0], SimTime::from_secs(80))
+            .unwrap();
         assert!(opened.body.contains("payment"));
-        svc.star_email(session, hits[0], SimTime::from_secs(85)).unwrap();
+        svc.star_email(session, hits[0], SimTime::from_secs(85))
+            .unwrap();
 
         let events = svc.drain_events();
         assert!(matches!(events[0], WebmailEvent::LoginSucceeded { .. }));
@@ -750,16 +830,31 @@ mod tests {
         setup_account(&mut svc);
         let c = conn(&svc, &mut rng, "GB");
         let (_, cookie1) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(1))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(1),
+            )
             .unwrap();
         let c2 = c.clone().with_cookie(cookie1);
         let (_, cookie2) = svc
-            .login("honey@honeymail.example", "pw123456", &c2, SimTime::from_secs(100))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c2,
+                SimTime::from_secs(100),
+            )
             .unwrap();
         assert_eq!(cookie1, cookie2);
         let c3 = conn(&svc, &mut rng, "GB");
         let (_, cookie3) = svc
-            .login("honey@honeymail.example", "pw123456", &c3, SimTime::from_secs(200))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c3,
+                SimTime::from_secs(200),
+            )
             .unwrap();
         assert_ne!(cookie1, cookie3);
     }
@@ -770,7 +865,12 @@ mod tests {
         let id = setup_account(&mut svc);
         let c = conn(&svc, &mut rng, "RU");
         let (session, _) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(10))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(10),
+            )
             .unwrap();
         svc.send_email(
             session,
@@ -788,12 +888,22 @@ mod tests {
         // Scraper tries the original password: locked out.
         let scraper = conn(&svc, &mut rng, "GB");
         assert_eq!(
-            svc.login("honey@honeymail.example", "pw123456", &scraper, SimTime::from_secs(40)),
+            svc.login(
+                "honey@honeymail.example",
+                "pw123456",
+                &scraper,
+                SimTime::from_secs(40)
+            ),
             Err(LoginError::BadCredentials)
         );
         // Attacker's new password works.
         assert!(svc
-            .login("honey@honeymail.example", "attacker-pw", &scraper, SimTime::from_secs(50))
+            .login(
+                "honey@honeymail.example",
+                "attacker-pw",
+                &scraper,
+                SimTime::from_secs(50)
+            )
             .is_ok());
     }
 
@@ -803,7 +913,12 @@ mod tests {
         let id = setup_account(&mut svc);
         let c = conn(&svc, &mut rng, "US");
         let (session, _) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(10))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(10),
+            )
             .unwrap();
         let mut blocked = false;
         for i in 0..200 {
@@ -827,7 +942,12 @@ mod tests {
         assert!(!svc.account(id).state.is_active());
         let c2 = conn(&svc, &mut rng, "US");
         assert_eq!(
-            svc.login("honey@honeymail.example", "pw123456", &c2, SimTime::from_secs(9_999)),
+            svc.login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c2,
+                SimTime::from_secs(9_999)
+            ),
             Err(LoginError::AccountBlocked)
         );
         assert!(svc
@@ -848,7 +968,12 @@ mod tests {
             loc.point,
         );
         let (session, cookie) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(5))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(5),
+            )
             .unwrap();
         let rows = svc.read_activity_page(session).unwrap();
         assert_eq!(rows.len(), 1);
@@ -881,7 +1006,12 @@ mod tests {
             loc.point,
         );
         assert_eq!(
-            svc.login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(5)),
+            svc.login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(5)
+            ),
             Err(LoginError::SuspiciousLogin)
         );
     }
@@ -892,7 +1022,12 @@ mod tests {
         setup_account(&mut svc);
         let c = conn(&svc, &mut rng, "GB");
         let (session, _) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(1))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(1),
+            )
             .unwrap();
         let draft = svc
             .create_draft(
@@ -907,7 +1042,8 @@ mod tests {
             svc.list_folder(session, Folder::Drafts).unwrap(),
             vec![draft]
         );
-        svc.send_draft(session, draft, SimTime::from_secs(3)).unwrap();
+        svc.send_draft(session, draft, SimTime::from_secs(3))
+            .unwrap();
         assert!(svc.list_folder(session, Folder::Drafts).unwrap().is_empty());
         assert!(svc
             .list_folder(session, Folder::Sent)
@@ -996,7 +1132,12 @@ mod tests {
         let id = setup_account(&mut svc);
         let c = conn(&svc, &mut rng, "NG");
         let (session, _) = svc
-            .login("honey@honeymail.example", "pw123456", &c, SimTime::from_secs(1))
+            .login(
+                "honey@honeymail.example",
+                "pw123456",
+                &c,
+                SimTime::from_secs(1),
+            )
             .unwrap();
         let mut sends = 0;
         for i in 0..30 {

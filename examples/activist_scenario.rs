@@ -28,9 +28,18 @@ fn main() {
     let ao = overview(&activist.dataset);
     println!("\n== Activity comparison ==");
     println!("{:<26} {:>10} {:>10}", "", "corporate", "activist");
-    println!("{:<26} {:>10} {:>10}", "unique accesses", co.total_accesses, ao.total_accesses);
-    println!("{:<26} {:>10} {:>10}", "emails opened", co.emails_opened, ao.emails_opened);
-    println!("{:<26} {:>10} {:>10}", "accounts hijacked", co.accounts_hijacked, ao.accounts_hijacked);
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "unique accesses", co.total_accesses, ao.total_accesses
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "emails opened", co.emails_opened, ao.emails_opened
+    );
+    println!(
+        "{:<26} {:>10} {:>10}",
+        "accounts hijacked", co.accounts_hijacked, ao.accounts_hijacked
+    );
 
     let gold = |out: &pwnd::RunOutput| {
         out.dataset

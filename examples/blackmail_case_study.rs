@@ -111,6 +111,10 @@ fn main() {
         .any(|q| q.contains("bitcoin"));
     println!(
         "ground truth: did anyone actually *search* for bitcoin? {}",
-        if queried_bitcoin { "yes" } else { "no — it arrived via drafts" }
+        if queried_bitcoin {
+            "yes"
+        } else {
+            "no — it arrived via drafts"
+        }
     );
 }

@@ -41,7 +41,12 @@ fn main() {
         100.0 * (attempted - observed) as f64 / attempted as f64
     );
 
-    let hijacked_gt: HashSet<u32> = output.ground_truth.hijacked_accounts.iter().copied().collect();
+    let hijacked_gt: HashSet<u32> = output
+        .ground_truth
+        .hijacked_accounts
+        .iter()
+        .copied()
+        .collect();
     let hijacked_obs: HashSet<u32> = output
         .dataset
         .accounts

@@ -39,10 +39,19 @@ fn main() {
 
     println!("\n== Suspicious-login filter ablation ==");
     println!("{:<26} {:>12} {:>12}", "", "filter OFF", "filter ON");
-    println!("{:<26} {:>12} {:>12}", "observed unique accesses", acc_off, acc_on);
-    println!("{:<26} {:>12} {:>12}", "emails sent by attackers", sent_off, sent_on);
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "observed unique accesses", acc_off, acc_on
+    );
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "emails sent by attackers", sent_off, sent_on
+    );
     println!("{:<26} {:>12} {:>12}", "accounts hijacked", hij_off, hij_on);
-    println!("{:<26} {:>12} {:>12}", "accounts with accesses", acct_off, acct_on);
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "accounts with accesses", acct_off, acct_on
+    );
 
     let survived = acc_on as f64 / acc_off.max(1) as f64;
     println!(

@@ -33,8 +33,17 @@ fn main() {
     // "password" weekly).
     let mut rng = Rng::seed_from(seed ^ 0xDEF);
     let owner_workflow: Vec<&str> = vec![
-        "meeting", "report", "schedule", "agreement", "contract", "review",
-        "forecast", "pipeline", "delivery", "project", "quarter",
+        "meeting",
+        "report",
+        "schedule",
+        "agreement",
+        "contract",
+        "review",
+        "forecast",
+        "pipeline",
+        "delivery",
+        "project",
+        "quarter",
     ];
     let owner_history: Vec<String> = (0..300)
         .map(|_| (*rng.choose(&owner_workflow)).to_string())

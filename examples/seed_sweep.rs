@@ -28,7 +28,11 @@ impl Series {
         let n = self.values.len() as f64;
         let mean = self.values.iter().sum::<f64>() / n;
         let lo = self.values.iter().cloned().fold(f64::INFINITY, f64::min);
-        let hi = self.values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let hi = self
+            .values
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max);
         println!(
             "{:<28} paper {:>8.2}   mean {:>8.2}   range [{:>7.2}, {:>7.2}]",
             self.name, self.paper, mean, lo, hi
@@ -115,8 +119,16 @@ fn main() {
             f25("paste"),
             f25("forum"),
             f25("malware"),
-            f1.rows.iter().find(|r| r.0 == "paste").map(|r| r.1[2]).unwrap_or(0.0),
-            f1.rows.iter().find(|r| r.0 == "forum").map(|r| r.1[1]).unwrap_or(0.0),
+            f1.rows
+                .iter()
+                .find(|r| r.0 == "paste")
+                .map(|r| r.1[2])
+                .unwrap_or(0.0),
+            f1.rows
+                .iter()
+                .find(|r| r.0 == "forum")
+                .map(|r| r.1[1])
+                .unwrap_or(0.0),
             fig6_median("paste", "UK", true),
             fig6_median("paste", "UK", false),
             fig6_median("paste", "US", true),

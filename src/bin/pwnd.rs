@@ -1,51 +1,107 @@
 //! `pwnd` — command-line front end for the honey-account testbed.
 //!
 //! ```text
-//! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys]   full evaluation report
-//! pwnd export  [--seed N] [--out FILE]                         dataset JSON
-//! pwnd sweep   [--seeds N]                                     headline stats across seeds
-//! pwnd leaks   [--seed N]                                      the leak plan actually executed
-//! pwnd truth   [--seed N]                                      ground-truth vs observed audit
+//! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys] [--profile]
+//! pwnd trace   [--seed N] [--quick] [--trace-out FILE]
+//! pwnd export  [--seed N] [--out FILE]
+//! pwnd sweep   [--seeds N] [--seed BASE]
+//! pwnd leaks   [--seed N]
+//! pwnd truth   [--seed N]
 //! ```
 
 use pwnd::analysis::tables::overview;
+use pwnd::telemetry::{Table, TelemetrySink};
 use pwnd::{Experiment, ExperimentConfig};
 use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: pwnd <command> [flags]
+
+commands:
+  run      full evaluation report (§4 analysis pipeline)
+  trace    run with telemetry and emit the JSONL event trace
+  export   write the censored dataset as JSON
+  sweep    headline stats across consecutive seeds
+  leaks    the leak plan actually executed
+  truth    ground-truth vs observed audit
+
+flags:
+  --seed N         RNG seed (default 2016); for sweep, the base seed
+  --quick          30-day quick configuration instead of the full paper run
+  --filter-on      enable the provider's suspicious-login filter
+  --decoys         seed decoy documents into every mailbox
+  --profile        (run) print phase timings and the metrics summary
+  --out FILE       (export) output path (default dataset.json)
+  --trace-out FILE (trace) write the JSONL trace here instead of stdout
+  --seeds N        (sweep) number of seeds (default 8)
+  -h, --help       print this help";
 
 struct Args {
     seed: u64,
     quick: bool,
     filter_on: bool,
     decoys: bool,
+    profile: bool,
     out: String,
+    trace_out: Option<String>,
     seeds: u64,
 }
 
-fn parse(mut argv: std::env::Args) -> Option<(String, Args)> {
+enum Cli {
+    Help,
+    Invalid,
+    Command(String, Args),
+}
+
+fn parse(mut argv: std::env::Args) -> Cli {
     let _bin = argv.next();
-    let command = argv.next()?;
+    let Some(command) = argv.next() else {
+        return Cli::Invalid;
+    };
+    if matches!(command.as_str(), "--help" | "-h" | "help") {
+        return Cli::Help;
+    }
     let mut args = Args {
         seed: 2016,
         quick: false,
         filter_on: false,
         decoys: false,
+        profile: false,
         out: "dataset.json".to_string(),
+        trace_out: None,
         seeds: 8,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
     while i < rest.len() {
         match rest[i].as_str() {
+            "--help" | "-h" => return Cli::Help,
             "--seed" => {
-                args.seed = rest.get(i + 1)?.parse().ok()?;
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.seed = v;
                 i += 2;
             }
             "--out" => {
-                args.out = rest.get(i + 1)?.clone();
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.out = v.clone();
+                i += 2;
+            }
+            "--trace-out" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.trace_out = Some(v.clone());
                 i += 2;
             }
             "--seeds" => {
-                args.seeds = rest.get(i + 1)?.parse().ok()?;
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.seeds = v;
                 i += 2;
             }
             "--quick" => {
@@ -60,13 +116,17 @@ fn parse(mut argv: std::env::Args) -> Option<(String, Args)> {
                 args.decoys = true;
                 i += 1;
             }
+            "--profile" => {
+                args.profile = true;
+                i += 1;
+            }
             other => {
                 eprintln!("unknown flag: {other}");
-                return None;
+                return Cli::Invalid;
             }
         }
     }
-    Some((command, args))
+    Cli::Command(command, args)
 }
 
 fn config_of(a: &Args) -> ExperimentConfig {
@@ -80,22 +140,53 @@ fn config_of(a: &Args) -> ExperimentConfig {
     cfg
 }
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: pwnd <run|export|sweep|leaks|truth> [--seed N] [--quick] \
-         [--filter-on] [--decoys] [--out FILE] [--seeds N]"
-    );
-    ExitCode::FAILURE
-}
-
 fn main() -> ExitCode {
-    let Some((command, args)) = parse(std::env::args()) else {
-        return usage();
+    let (command, args) = match parse(std::env::args()) {
+        Cli::Help => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        Cli::Invalid => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+        Cli::Command(command, args) => (command, args),
     };
     match command.as_str() {
         "run" => {
-            let out = Experiment::new(config_of(&args)).run();
-            println!("{}", out.analysis().render());
+            if args.profile {
+                let sink = TelemetrySink::enabled();
+                let out = Experiment::new(config_of(&args))
+                    .with_telemetry(sink.clone())
+                    .run();
+                println!("{}", out.analysis().render());
+                println!("{}", out.telemetry_report().render());
+            } else {
+                let out = Experiment::new(config_of(&args)).run();
+                println!("{}", out.analysis().render());
+            }
+        }
+        "trace" => {
+            let sink = TelemetrySink::enabled();
+            let out = Experiment::new(config_of(&args))
+                .with_telemetry(sink.clone())
+                .run();
+            let jsonl = sink.trace_jsonl();
+            let report = out.telemetry_report();
+            match &args.trace_out {
+                Some(path) => {
+                    if std::fs::write(path, &jsonl).is_err() {
+                        eprintln!("cannot write {path}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!(
+                        "wrote {path} ({} events, {} dropped)",
+                        report.trace.len(),
+                        report.trace_dropped
+                    );
+                }
+                None => print!("{jsonl}"),
+            }
         }
         "export" => {
             let out = Experiment::new(config_of(&args)).run();
@@ -112,31 +203,36 @@ fn main() -> ExitCode {
             );
         }
         "sweep" => {
-            println!(
-                "{:<6} {:>9} {:>7} {:>6} {:>8} {:>8} {:>9}",
-                "seed", "accesses", "opened", "sent", "blocked", "hijacked", "accounts"
-            );
+            let mut table = Table::new(&[
+                "seed", "accesses", "opened", "sent", "blocked", "hijacked", "accounts",
+            ])
+            .numeric();
             for s in 0..args.seeds {
                 let mut cfg = config_of(&args);
-                cfg.seed = 1000 + s;
+                cfg.seed = args.seed + s;
                 let out = Experiment::new(cfg).run();
                 let ov = overview(&out.dataset);
-                println!(
-                    "{:<6} {:>9} {:>7} {:>6} {:>8} {:>8} {:>9}",
-                    1000 + s,
-                    ov.total_accesses,
-                    ov.emails_opened,
-                    ov.emails_sent,
-                    ov.accounts_blocked,
-                    ov.accounts_hijacked,
-                    ov.accounts_accessed
-                );
+                table.row([
+                    (args.seed + s).to_string(),
+                    ov.total_accesses.to_string(),
+                    ov.emails_opened.to_string(),
+                    ov.emails_sent.to_string(),
+                    ov.accounts_blocked.to_string(),
+                    ov.accounts_hijacked.to_string(),
+                    ov.accounts_accessed.to_string(),
+                ]);
             }
-            println!("paper: 326 accesses, 147 opened, 845 sent, 42 blocked, 36 hijacked, 90 accounts");
+            print!("{}", table.render());
+            println!(
+                "paper: 326 accesses, 147 opened, 845 sent, 42 blocked, 36 hijacked, 90 accounts"
+            );
         }
         "leaks" => {
             let out = Experiment::new(config_of(&args)).run();
-            println!("{:<5} {:<8} {:<24} {:<10} content", "acct", "outlet", "site", "day");
+            println!(
+                "{:<5} {:<8} {:<24} {:<10} content",
+                "acct", "outlet", "site", "day"
+            );
             for l in &out.leaks {
                 println!(
                     "{:<5} {:<8} {:<24} {:<10.1} {}",
@@ -151,20 +247,25 @@ fn main() -> ExitCode {
         "truth" => {
             let out = Experiment::new(config_of(&args)).run();
             let gt = &out.ground_truth;
-            println!("attempted accesses : {}", gt.attempted_accesses);
-            println!("observed accesses  : {}", out.dataset.accesses.len());
-            println!("hijacked (truth)   : {}", gt.hijacked_accounts.len());
-            println!("blocked (truth)    : {}", gt.blocked_accounts.len());
-            println!("sinkholed messages : {}", gt.sinkholed_messages);
-            println!("scripts deleted    : {}", gt.scripts_deleted.len());
-            println!("quota notices      : {}", gt.quota_notices_delivered);
-            println!("forum inquiries    : {}", gt.inquiries.len());
+            let mut table = Table::new(&["ground truth", "value"]).numeric();
+            table.row(["attempted accesses", &gt.attempted_accesses.to_string()]);
+            table.row(["observed accesses", &out.dataset.accesses.len().to_string()]);
+            table.row(["hijacked (truth)", &gt.hijacked_accounts.len().to_string()]);
+            table.row(["blocked (truth)", &gt.blocked_accounts.len().to_string()]);
+            table.row(["sinkholed messages", &gt.sinkholed_messages.to_string()]);
+            table.row(["scripts deleted", &gt.scripts_deleted.len().to_string()]);
+            table.row(["quota notices", &gt.quota_notices_delivered.to_string()]);
+            table.row(["forum inquiries", &gt.inquiries.len().to_string()]);
+            print!("{}", table.render());
             let mut q = gt.searched_queries.clone();
             q.sort_unstable();
             q.dedup();
             println!("distinct queries   : {q:?}");
         }
-        _ => return usage(),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

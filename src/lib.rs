@@ -22,6 +22,7 @@
 //! | [`leak`] | `pwnd-leak` | outlets and the resale market |
 //! | [`attacker`] | `pwnd-attacker` | the calibrated criminal population |
 //! | [`analysis`] | `pwnd-analysis` | §4 figures, tables, CvM, TF-IDF |
+//! | [`telemetry`] | `pwnd-telemetry` | metrics, run tracing, phase profiling |
 //! | [`core`] | `pwnd-core` | experiment orchestration |
 //!
 //! ## Quickstart
@@ -41,6 +42,7 @@ pub use pwnd_leak as leak;
 pub use pwnd_monitor as monitor;
 pub use pwnd_net as net;
 pub use pwnd_sim as sim;
+pub use pwnd_telemetry as telemetry;
 pub use pwnd_webmail as webmail;
 
 pub use pwnd_core::{Experiment, ExperimentConfig, GroundTruth, RunOutput};

@@ -23,18 +23,22 @@ fn activist_scenario_flips_the_inferred_vocabulary() {
         .ground_truth
         .searched_queries
         .iter()
-        .filter(|q| ["sources", "donors", "passport", "safehouse", "journalist"].contains(&q.as_str()))
+        .filter(|q| {
+            ["sources", "donors", "passport", "safehouse", "journalist"].contains(&q.as_str())
+        })
         .collect();
     assert!(
         !activist_queries.is_empty(),
         "no activist-targeted queries observed"
     );
     // The corporate arm never searches those terms.
-    assert!(corporate
-        .ground_truth
-        .searched_queries
-        .iter()
-        .all(|q| !["sources", "donors", "passport", "safehouse"].contains(&q.as_str())));
+    assert!(corporate.ground_truth.searched_queries.iter().all(|q| ![
+        "sources",
+        "donors",
+        "passport",
+        "safehouse"
+    ]
+    .contains(&q.as_str())));
 
     // The TF-IDF inference recovers the shift from opened mail alone.
     let top: Vec<String> = activist
@@ -47,8 +51,18 @@ fn activist_scenario_flips_the_inferred_vocabulary() {
     let activist_hits = top
         .iter()
         .filter(|t| {
-            ["sources", "donors", "contacts", "passport", "location", "journalist", "funding",
-             "identity", "travel", "safehouse"]
+            [
+                "sources",
+                "donors",
+                "contacts",
+                "passport",
+                "location",
+                "journalist",
+                "funding",
+                "identity",
+                "travel",
+                "safehouse",
+            ]
             .contains(&t.as_str())
         })
         .count();

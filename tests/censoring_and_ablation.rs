@@ -112,10 +112,7 @@ fn heartbeat_block_inference_is_mostly_accurate() {
             );
         }
     }
-    let false_positives = inferred
-        .iter()
-        .filter(|a| !blocked_gt.contains(a))
-        .count();
+    let false_positives = inferred.iter().filter(|a| !blocked_gt.contains(a)).count();
     assert!(
         false_positives <= out.ground_truth.scripts_deleted.len() + 1,
         "too many spurious block detections: {false_positives}"

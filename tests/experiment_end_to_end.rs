@@ -64,8 +64,15 @@ fn hijacked_accounts_stop_contributing_after_detection() {
     // notifications may continue; page scraping cannot).
     let out = run();
     for rec in &out.dataset.accounts {
-        let Some(ht) = rec.hijack_detected_secs else { continue };
-        for a in out.dataset.accesses.iter().filter(|a| a.account == rec.account) {
+        let Some(ht) = rec.hijack_detected_secs else {
+            continue;
+        };
+        for a in out
+            .dataset
+            .accesses
+            .iter()
+            .filter(|a| a.account == rec.account)
+        {
             if a.has_location_row {
                 assert!(
                     a.first_seen_secs <= ht,
@@ -130,7 +137,10 @@ fn russian_paste_accounts_stay_silent_for_two_months() {
 fn blackmailer_vocabulary_reaches_table2() {
     let analysis = run().analysis();
     let bitcoin = analysis.tfidf.get("bitcoin").expect("bitcoin in table");
-    assert_eq!(bitcoin.tfidf_a, 0.0, "bitcoin must be absent from the corpus");
+    assert_eq!(
+        bitcoin.tfidf_a, 0.0,
+        "bitcoin must be absent from the corpus"
+    );
     assert!(bitcoin.tfidf_r > 0.0, "bitcoin must appear in opened mail");
     // And the searched list is dominated by sensitive terms.
     let top: Vec<&str> = analysis
@@ -142,9 +152,24 @@ fn blackmailer_vocabulary_reaches_table2() {
     let sensitive_hits = top
         .iter()
         .filter(|t| {
-            ["bitcoin", "payment", "account", "family", "seller", "below", "listed", "results",
-             "banking", "password", "salary", "invoice", "statement", "bitcoins", "localbitcoins",
-             "wallet"]
+            [
+                "bitcoin",
+                "payment",
+                "account",
+                "family",
+                "seller",
+                "below",
+                "listed",
+                "results",
+                "banking",
+                "password",
+                "salary",
+                "invoice",
+                "statement",
+                "bitcoins",
+                "localbitcoins",
+                "wallet",
+            ]
             .contains(*t)
         })
         .count();
@@ -201,7 +226,11 @@ fn leak_plan_covers_every_account_exactly_once() {
         assert_eq!(rec.outlet, leak.kind.label());
     }
     // Counts per outlet kind match Table 1.
-    let paste = out.leaks.iter().filter(|l| l.kind == OutletKind::Paste).count();
+    let paste = out
+        .leaks
+        .iter()
+        .filter(|l| l.kind == OutletKind::Paste)
+        .count();
     assert_eq!(paste, 50);
 }
 
@@ -213,7 +242,10 @@ fn forum_teaser_mechanics_are_recorded() {
     assert_eq!(out.ground_truth.teaser_threads.len(), 4);
     let mut sample_total = 0;
     for t in &out.ground_truth.teaser_threads {
-        assert!(t.promised_total > t.sample_lines.len(), "teaser must promise more");
+        assert!(
+            t.promised_total > t.sample_lines.len(),
+            "teaser must promise more"
+        );
         assert!(t.price_usd > 0);
         assert!(out
             .ground_truth
@@ -242,7 +274,10 @@ fn malware_campaign_log_covers_all_credentials() {
             c.outcome,
             pwnd::leak::malware::InfectionOutcome::Exfiltrated { .. }
         ));
-        assert!(c.family.runs_in_vm(), "liveness filter removed VM-hostile samples");
+        assert!(
+            c.family.runs_in_vm(),
+            "liveness filter removed VM-hostile samples"
+        );
     }
 }
 

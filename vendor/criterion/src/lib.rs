@@ -1,0 +1,194 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the slice of criterion's API its bench targets use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] with
+//! `sample_size`, [`Bencher::iter`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Semantics:
+//! - Under `cargo bench` (cargo passes `--bench` to the target) each
+//!   routine is timed for `sample_size` samples and a median/min/max
+//!   line is printed.
+//! - Under `cargo test` (no `--bench` argument) every benchmark is
+//!   skipped so the test suite never pays for expensive bench bodies.
+
+use std::time::{Duration, Instant};
+
+/// The benchmark driver handed to every `criterion_group!` target.
+pub struct Criterion {
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let bench_mode = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 10,
+            bench_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Override the number of samples taken per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one routine under `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, self.sample_size, self.bench_mode, f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.sample_size,
+            bench_mode: self.bench_mode,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    name: String,
+    sample_size: usize,
+    bench_mode: bool,
+}
+
+impl BenchmarkGroup {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Time one routine under `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.sample_size, self.bench_mode, f);
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F>(id: &str, samples: usize, bench_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !bench_mode {
+        println!("{id:<40} skipped (run with `cargo bench`)");
+        return;
+    }
+    let mut b = Bencher {
+        samples: Vec::with_capacity(samples),
+    };
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    b.samples.sort_unstable();
+    let median = b
+        .samples
+        .get(b.samples.len() / 2)
+        .copied()
+        .unwrap_or_default();
+    let min = b.samples.first().copied().unwrap_or_default();
+    let max = b.samples.last().copied().unwrap_or_default();
+    println!(
+        "{id:<40} median {:>12?}  (min {:?}, max {:?}, n={})",
+        median,
+        min,
+        max,
+        b.samples.len()
+    );
+}
+
+/// Times a single routine; one `iter` call contributes one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Run `routine` once and record its wall-clock time as a sample.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.samples.push(start.elapsed());
+        drop(std::hint::black_box(out));
+    }
+}
+
+/// Prevent the compiler from optimizing a value away.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Collect benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generate the bench binary's `main` from one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_skips_routine() {
+        let mut c = Criterion {
+            sample_size: 10,
+            bench_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("noop", |b| {
+            ran = true;
+            b.iter(|| 1 + 1);
+        });
+        assert!(!ran, "routines must not run under cargo test");
+    }
+
+    #[test]
+    fn bench_mode_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            bench_mode: true,
+        };
+        let mut calls = 0;
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| black_box(2) * 2);
+        });
+        g.finish();
+        assert_eq!(calls, 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Value-generation strategies: ranges, tuples, maps, unions, and a
+//! small regex-subset string generator.
+
+use crate::TestRng;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value from the strategy.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with a function.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// Generate any value of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// A strategy that always yields one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Strategy adapter produced by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Box a strategy for use in heterogeneous collections ([`Union`]).
+pub fn boxed<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    arms: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union over the given arms (must be non-empty).
+    pub fn new(arms: Vec<Box<dyn Strategy<Value = T>>>) -> Union<T> {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.arms.len() as u64) as usize;
+        self.arms[i].generate(rng)
+    }
+}
+
+macro_rules! int_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (self.end as i128) - (self.start as i128);
+                assert!(span > 0, "empty integer range strategy");
+                let off = rng.below(span as u64) as i128;
+                ((self.start as i128) + off) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let span = (*self.end() as i128) - (*self.start() as i128) + 1;
+                assert!(span > 0, "empty integer range strategy");
+                let off = rng.below(span as u64) as i128;
+                ((*self.start() as i128) + off) as $t
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+int_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! float_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty float range strategy");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // Finite, sign-balanced, spanning several magnitudes.
+                ((rng.next_u64() as i64) as $t) * 1e-6
+            }
+        }
+    )*};
+}
+
+float_strategies!(f32, f64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! tuple_strategies {
+    ($(($($n:tt $s:ident),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+tuple_strategies!(
+    (0 A, 1 B),
+    (0 A, 1 B, 2 C),
+    (0 A, 1 B, 2 C, 3 D),
+    (0 A, 1 B, 2 C, 3 D, 4 E),
+);
+
+/// String literals act as regex-subset strategies, as in upstream
+/// proptest. Supported syntax: literal characters, `.` (any printable
+/// ASCII), `[a-z ]` character classes with ranges, and `{m}` / `{m,n}`
+/// repetition suffixes.
+impl Strategy for &str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        generate_from_pattern(self, rng)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Atom {
+    Dot,
+    Class(Vec<char>),
+    Literal(char),
+}
+
+fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let atom = match c {
+            '.' => Atom::Dot,
+            '[' => {
+                let mut set = Vec::new();
+                let mut prev: Option<char> = None;
+                loop {
+                    let c = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated [..] in pattern {pattern:?}"));
+                    match c {
+                        ']' => break,
+                        '-' if prev.is_some() && chars.peek().is_some_and(|&n| n != ']') => {
+                            let lo = prev.take().expect("range start");
+                            let hi = chars.next().expect("range end");
+                            for v in (lo as u32)..=(hi as u32) {
+                                set.extend(char::from_u32(v));
+                            }
+                        }
+                        c => {
+                            if let Some(p) = prev.replace(c) {
+                                set.push(p);
+                            }
+                        }
+                    }
+                }
+                set.extend(prev);
+                assert!(
+                    !set.is_empty(),
+                    "empty character class in pattern {pattern:?}"
+                );
+                Atom::Class(set)
+            }
+            '\\' => Atom::Literal(
+                chars
+                    .next()
+                    .unwrap_or_else(|| panic!("trailing backslash in pattern {pattern:?}")),
+            ),
+            c => Atom::Literal(c),
+        };
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for c in chars.by_ref() {
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse::<usize>().expect("repeat min"),
+                    n.trim().parse::<usize>().expect("repeat max"),
+                ),
+                None => {
+                    let n = spec.trim().parse::<usize>().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        let count = min + rng.below((max - min + 1) as u64) as usize;
+        for _ in 0..count {
+            match &atom {
+                Atom::Dot => out.push((0x20 + rng.below(0x5f) as u8) as char),
+                Atom::Class(set) => out.push(set[rng.below(set.len() as u64) as usize]),
+                Atom::Literal(c) => out.push(*c),
+            }
+        }
+    }
+    out
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::deterministic("strategy-tests")
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let v = (3u64..17).generate(&mut r);
+            assert!((3..17).contains(&v));
+            let f = (-2.0f64..2.0).generate(&mut r);
+            assert!((-2.0..2.0).contains(&f));
+            let i = (-500i64..500).generate(&mut r);
+            assert!((-500..500).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z ]{0,40}".generate(&mut r);
+            assert!(s.len() <= 40);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()));
+            let t = ".{0,24}".generate(&mut r);
+            assert!(t.len() <= 24);
+            assert!(t.chars().all(|c| (' '..='~').contains(&c)));
+            let w = "[a-z]{5,12}".generate(&mut r);
+            assert!((5..=12).contains(&w.len()));
+        }
+    }
+
+    #[test]
+    fn map_and_union_compose() {
+        let mut r = rng();
+        let u = crate::prop_oneof![
+            (0u64..10).prop_map(|v| v * 2),
+            (100u64..110).prop_map(|v| v),
+        ];
+        for _ in 0..100 {
+            let v = u.generate(&mut r);
+            assert!(v < 20 || (100..110).contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_sizes() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u32..5, 2..9).generate(&mut r);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 5));
+        }
+    }
+}
