@@ -112,6 +112,7 @@ mod tests {
 
     fn dataset() -> Dataset {
         Dataset {
+            gaps: Vec::new(),
             accesses: vec![
                 access(0, 1, 0, 10, 0),                  // curious, no revisit
                 access(0, 2, 0, 3 * 86_400, 0),          // curious, revisits
@@ -125,6 +126,7 @@ mod tests {
                     leaked_at_secs: 0,
                     hijack_detected_secs: None,
                     block_detected_secs: None,
+                    coverage: None,
                 },
                 AccountRecord {
                     account: 1,
@@ -133,6 +135,7 @@ mod tests {
                     leaked_at_secs: 0,
                     hijack_detected_secs: None,
                     block_detected_secs: None,
+                    coverage: None,
                 },
             ],
             opened_texts: vec![],

@@ -327,11 +327,13 @@ mod tests {
             leaked_at_secs: 0,
             hijack_detected_secs: None,
             block_detected_secs: None,
+            coverage: None,
         }
     }
 
     fn dataset() -> Dataset {
         Dataset {
+            gaps: Vec::new(),
             accesses: vec![
                 mk_access(0, 1, 0, 0, false), // paste curious
                 mk_access(0, 2, 3, 0, false), // paste gold digger

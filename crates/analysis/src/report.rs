@@ -43,6 +43,49 @@ pub struct FullAnalysis {
     pub sophistication: Vec<SophisticationRow>,
     /// Extended views beyond the paper's figures.
     pub extended: ExtendedStats,
+    /// Monitoring-coverage summary. `None` for fault-free runs (no gaps
+    /// tracked), which keeps their rendered report unchanged.
+    pub coverage: Option<CoverageStats>,
+}
+
+/// How much of each account's observation window the monitoring pipeline
+/// actually saw, aggregated over the run. Only produced when the dataset
+/// carries per-account coverage (i.e. the run injected faults).
+#[derive(Clone, Debug)]
+pub struct CoverageStats {
+    /// Mean per-account coverage in `[0, 1]`.
+    pub mean: f64,
+    /// Worst single account's coverage.
+    pub min: f64,
+    /// Accounts with coverage strictly below 1.0.
+    pub degraded_accounts: usize,
+    /// Accounts carrying a coverage figure.
+    pub accounts: usize,
+    /// Known blind windows recorded in the dataset.
+    pub gap_count: usize,
+    /// The lowest-coverage accounts, ascending, capped at five.
+    pub worst: Vec<(u32, f64)>,
+}
+
+fn coverage_stats(ds: &Dataset) -> Option<CoverageStats> {
+    let mut covered: Vec<(u32, f64)> = ds
+        .accounts
+        .iter()
+        .filter_map(|a| a.coverage.map(|c| (a.account, c)))
+        .collect();
+    if covered.is_empty() {
+        return None;
+    }
+    covered.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)));
+    let mean = covered.iter().map(|(_, c)| c).sum::<f64>() / covered.len() as f64;
+    Some(CoverageStats {
+        mean,
+        min: covered[0].1,
+        degraded_accounts: covered.iter().filter(|(_, c)| *c < 1.0).count(),
+        accounts: covered.len(),
+        gap_count: ds.gaps.len(),
+        worst: covered.into_iter().take(5).collect(),
+    })
 }
 
 impl FullAnalysis {
@@ -73,6 +116,7 @@ impl FullAnalysis {
             tfidf: TfidfTable::build(corpus_text, &opened_text, &tokenizer),
             sophistication: sophistication(ds),
             extended: extended(ds),
+            coverage: coverage_stats(ds),
         }
     }
 
@@ -339,6 +383,25 @@ impl FullAnalysis {
                 r.outlet, r.config_hidden, r.tor, r.non_destructive, r.score
             );
         }
+
+        if let Some(c) = &self.coverage {
+            let _ = writeln!(s, "\n== Monitoring coverage (fault-injected run) ==");
+            let _ = writeln!(
+                s,
+                "mean coverage  : {:.4} over {} accounts ({} known gaps)",
+                c.mean, c.accounts, c.gap_count
+            );
+            let _ = writeln!(
+                s,
+                "degraded       : {} accounts below 1.0 (min {:.4})",
+                c.degraded_accounts, c.min
+            );
+            for (account, cov) in &c.worst {
+                if *cov < 1.0 {
+                    let _ = writeln!(s, "  account {account:>3}  coverage {cov:.4}");
+                }
+            }
+        }
         s
     }
 }
@@ -355,5 +418,42 @@ mod tests {
         assert!(text.contains("== Overview"));
         assert!(text.contains("Table 2"));
         assert!(text.contains("sophistication"));
+        // No coverage data → the report keeps its legacy shape.
+        assert!(a.coverage.is_none());
+        assert!(!text.contains("Monitoring coverage"));
+    }
+
+    #[test]
+    fn coverage_section_appears_when_gaps_were_tracked() {
+        use pwnd_monitor::dataset::{AccountRecord, GapRecord};
+        let mut ds = Dataset::default();
+        for (i, cov) in [(0u32, Some(1.0)), (1, Some(0.75)), (2, Some(0.5))] {
+            ds.accounts.push(AccountRecord {
+                account: i,
+                outlet: "paste".into(),
+                advertised_region: None,
+                leaked_at_secs: 0,
+                hijack_detected_secs: None,
+                block_detected_secs: None,
+                coverage: cov,
+            });
+        }
+        ds.gaps.push(GapRecord {
+            account: 2,
+            kind: "scraper".into(),
+            from_secs: 100,
+            until_secs: 200,
+        });
+        let a = FullAnalysis::compute(&ds, "", &[], None);
+        let c = a.coverage.as_ref().expect("coverage stats present");
+        assert_eq!(c.accounts, 3);
+        assert_eq!(c.degraded_accounts, 2);
+        assert!((c.mean - 0.75).abs() < 1e-9);
+        assert!((c.min - 0.5).abs() < 1e-9);
+        assert_eq!(c.gap_count, 1);
+        assert_eq!(c.worst[0], (2, 0.5));
+        let text = a.render();
+        assert!(text.contains("Monitoring coverage"));
+        assert!(text.contains("account   2  coverage 0.5000"));
     }
 }

@@ -84,6 +84,7 @@ mod tests {
     #[test]
     fn malware_scores_highest() {
         let ds = Dataset {
+            gaps: Vec::new(),
             accesses: vec![
                 access(0, 1, true, "Unknown", 0),
                 access(0, 2, true, "Unknown", 0),
@@ -98,6 +99,7 @@ mod tests {
                     leaked_at_secs: 0,
                     hijack_detected_secs: None,
                     block_detected_secs: None,
+                    coverage: None,
                 },
                 AccountRecord {
                     account: 1,
@@ -106,6 +108,7 @@ mod tests {
                     leaked_at_secs: 0,
                     hijack_detected_secs: None,
                     block_detected_secs: None,
+                    coverage: None,
                 },
             ],
             opened_texts: vec![],

@@ -206,11 +206,13 @@ mod tests {
             leaked_at_secs: 0,
             hijack_detected_secs: hijacked.then_some(500),
             block_detected_secs: blocked.then_some(600),
+            coverage: None,
         }
     }
 
     fn dataset() -> Dataset {
         Dataset {
+            gaps: Vec::new(),
             accesses: vec![
                 access(0, 1, false, "US", "50.0.0.1"),
                 access(0, 2, true, "DE", "171.0.0.1"),

@@ -1,8 +1,36 @@
 //! Experiment configuration.
 
 use pwnd_corpus::archetype::Archetype;
+use pwnd_faults::{FaultProfile, RetryPolicy};
 use pwnd_leak::plan::LeakPlan;
 use pwnd_webmail::security::SecurityPolicy;
+
+/// Fault-injection and resilience settings for one run.
+#[derive(Clone, Debug)]
+pub struct FaultSettings {
+    /// What infrastructure failures to inject. [`FaultProfile::none`]
+    /// (the default) injects nothing and leaves the run byte-identical
+    /// to a build without the fault layer.
+    pub profile: FaultProfile,
+    /// Consecutive same-class hard login failures the scraper requires
+    /// before declaring a hijack or block. The default of 1 reproduces
+    /// the historical trust-the-first-error behavior; raise it (3 is a
+    /// sensible production value) so a transient provider error cannot
+    /// mislabel an account. Knob documented in DESIGN.md §Failure model.
+    pub confirm_failures: u32,
+    /// How the scraper retries transient failures (flakes, maintenance).
+    pub retry: RetryPolicy,
+}
+
+impl Default for FaultSettings {
+    fn default() -> FaultSettings {
+        FaultSettings {
+            profile: FaultProfile::none(),
+            confirm_failures: 1,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
 
 /// Everything tunable about one experiment run.
 #[derive(Clone, Debug)]
@@ -42,6 +70,8 @@ pub struct ExperimentConfig {
     /// (activist corpus, motivated attackers hunting activist-sensitive
     /// terms).
     pub archetype: Archetype,
+    /// Fault injection and monitoring resilience.
+    pub faults: FaultSettings,
 }
 
 impl ExperimentConfig {
@@ -61,6 +91,7 @@ impl ExperimentConfig {
             blacklist_prevalence: 0.11,
             activity_page_capacity: 10,
             archetype: Archetype::CorporateEmployee,
+            faults: FaultSettings::default(),
         }
     }
 

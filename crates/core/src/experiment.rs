@@ -11,6 +11,7 @@ use pwnd_corpus::decoy::generate_decoys;
 use pwnd_corpus::email::{Email, EmailId, MailTime};
 use pwnd_corpus::generator::CorpusGenerator;
 use pwnd_corpus::persona::{DecoyRegion, Persona, PersonaFactory};
+use pwnd_faults::FaultPlan;
 use pwnd_leak::forum::{generate_inquiries, Forum, SellerAccount, TeaserThread};
 use pwnd_leak::malware::{
     liveness_filter, sample_pool, Campaign, CncId, InfectionOutcome, Sandbox,
@@ -19,7 +20,7 @@ use pwnd_leak::market::{Market, Sale};
 use pwnd_leak::paste::PasteSite;
 use pwnd_leak::plan::{LeakContent, LeakRecord, OutletKind};
 use pwnd_monitor::collector::NotificationCollector;
-use pwnd_monitor::dataset::{AccountRecord, Dataset, DatasetBuilder};
+use pwnd_monitor::dataset::{AccountRecord, Dataset, DatasetBuilder, GapRecord};
 use pwnd_monitor::scraper::Scraper;
 use pwnd_monitor::script::{ScriptConfig, ScriptLocation, ScriptRuntime};
 use pwnd_net::access::{ConnectionInfo, CookieId};
@@ -136,6 +137,22 @@ impl Experiment {
         collector.set_telemetry(self.telemetry.clone());
         scraper.set_telemetry(self.telemetry.clone());
 
+        // The fault plan compiles from a salted copy of the master seed
+        // and never touches the simulation streams forked above: with
+        // `FaultProfile::none()` every consumer below sees an empty plan
+        // and the run is byte-identical to one without the fault layer.
+        let fault_plan = FaultPlan::compile(
+            cfg.seed,
+            &cfg.faults.profile,
+            SimDuration::days(cfg.observation_days),
+        );
+        scraper.set_fault_plan(fault_plan.clone());
+        scraper.set_retry_policy(cfg.faults.retry.clone());
+        scraper.set_confirm_failures(cfg.faults.confirm_failures);
+        collector.set_fault_plan(fault_plan.clone());
+        runtime.set_fault_plan(fault_plan.clone());
+        service.set_maintenance(fault_plan.maintenance_spans());
+
         // --- Account setup ----------------------------------------------
         let horizon = SimTime::ZERO + SimDuration::days(cfg.observation_days);
         let span = self.telemetry.span("corpus");
@@ -245,6 +262,7 @@ impl Experiment {
         let scrape_span = self.telemetry.span("scrape");
         scraper.scrape_all(&mut service, horizon);
         drop(scrape_span);
+        scraper.finish(horizon);
         drop(loop_span);
 
         // --- Ground truth ---------------------------------------------------
@@ -270,6 +288,8 @@ impl Experiment {
         }
         ground_truth.sinkholed_messages = service.sinkhole().len();
         ground_truth.quota_notices_delivered = runtime.quota_notices_sent();
+        ground_truth.notifications_lost = collector.lost_in_transit();
+        ground_truth.duplicate_notifications = collector.duplicates_detected();
 
         // --- Dataset ----------------------------------------------------------
         let span = self.telemetry.span("dataset");
@@ -301,12 +321,56 @@ impl Experiment {
                         None
                     }
                 }),
+                // Filled in by the builder when gaps are tracked.
+                coverage: None,
             })
             .collect();
-        let dataset: Dataset = DatasetBuilder::new(&geolocator, scraper.dumps(), &collector)
+        // Known monitoring blind windows, from all three sources. Only
+        // assembled under a non-trivial profile: a fault-free run keeps
+        // the legacy dataset shape (no gaps, no coverage fields).
+        let mut builder = DatasetBuilder::new(&geolocator, scraper.dumps(), &collector)
             .with_own_cookies(&scraper.own_cookies())
-            .with_accounts(account_records)
-            .build();
+            .with_accounts(account_records);
+        if !fault_plan.is_none() {
+            let mut gaps: Vec<GapRecord> = Vec::new();
+            for &(acct, from, until) in scraper.gaps() {
+                gaps.push(GapRecord {
+                    account: acct.0,
+                    kind: "scraper".to_string(),
+                    from_secs: from.as_secs(),
+                    until_secs: until.as_secs(),
+                });
+            }
+            for acct in &accounts {
+                for (from, until) in collector.heartbeat_gaps(acct.id, SimDuration::days(2)) {
+                    gaps.push(GapRecord {
+                        account: acct.id.0,
+                        kind: "heartbeat".to_string(),
+                        from_secs: from.as_secs(),
+                        until_secs: until.as_secs(),
+                    });
+                }
+                for w in fault_plan.maintenance_windows() {
+                    gaps.push(GapRecord {
+                        account: acct.id.0,
+                        kind: "maintenance".to_string(),
+                        from_secs: w.start.as_secs(),
+                        until_secs: w.end.as_secs(),
+                    });
+                }
+            }
+            gaps.sort_by(|a, b| {
+                (a.account, a.from_secs, a.until_secs, &a.kind).cmp(&(
+                    b.account,
+                    b.from_secs,
+                    b.until_secs,
+                    &b.kind,
+                ))
+            });
+            ground_truth.monitoring_gaps = gaps.len();
+            builder = builder.with_gaps(gaps, horizon.as_secs());
+        }
+        let dataset: Dataset = builder.build();
         drop(span);
 
         RunOutput {
@@ -773,10 +837,14 @@ fn execute_visit(
             state.cookie = Some(cookie);
             session
         }
-        // Someone else hijacked the account, or the provider blocked it,
-        // or (filter-enabled ablation) the login looked too suspicious.
+        // Someone else hijacked the account, the provider blocked it or
+        // is down for maintenance, or (filter-enabled ablation) the
+        // login looked too suspicious. Attackers don't retry a visit.
         Err(
-            LoginError::BadCredentials | LoginError::AccountBlocked | LoginError::SuspiciousLogin,
+            LoginError::BadCredentials
+            | LoginError::AccountBlocked
+            | LoginError::SuspiciousLogin
+            | LoginError::Maintenance,
         ) => {
             return;
         }
@@ -973,6 +1041,70 @@ mod tests {
         let a = Experiment::new(ExperimentConfig::quick(1)).run();
         let b = Experiment::new(ExperimentConfig::quick(2)).run();
         assert_ne!(a.dataset.accesses, b.dataset.accesses);
+    }
+
+    #[test]
+    fn fault_machinery_does_not_perturb_a_fault_free_run() {
+        use crate::config::FaultSettings;
+        use pwnd_faults::RetryPolicy;
+
+        // The retry machinery must be inert while no faults fire: retries
+        // only trigger on transient failures, which a none profile never
+        // produces, so even an aggressive policy leaves the published
+        // artifact byte-identical. (confirm_failures is deliberately NOT
+        // inert — raising it defers detection of *genuine* hijacks by
+        // extra scrape sweeps — so only its default of 1 preserves the
+        // historical output.)
+        let plain = Experiment::new(ExperimentConfig::quick(42)).run();
+        let mut cfg = ExperimentConfig::quick(42);
+        cfg.faults = FaultSettings {
+            retry: RetryPolicy {
+                max_attempts: 8,
+                ..RetryPolicy::default()
+            },
+            ..FaultSettings::default()
+        };
+        let hardened = Experiment::new(cfg).run();
+        assert_eq!(plain.dataset_json(), hardened.dataset_json());
+        assert_eq!(hardened.ground_truth.notifications_lost, 0);
+        assert_eq!(hardened.ground_truth.duplicate_notifications, 0);
+        assert_eq!(hardened.ground_truth.monitoring_gaps, 0);
+        // And the legacy JSON shape is preserved exactly.
+        assert!(!plain.dataset_json().contains("\"coverage\""));
+        assert!(!plain.dataset_json().contains("\"gaps\""));
+    }
+
+    #[test]
+    fn faulted_runs_are_reproducible_and_report_coverage() {
+        use crate::config::FaultSettings;
+        use pwnd_faults::FaultProfile;
+
+        let cfg = || {
+            let mut c = ExperimentConfig::quick(42);
+            c.faults = FaultSettings {
+                profile: FaultProfile::heavy(),
+                confirm_failures: 3,
+                ..FaultSettings::default()
+            };
+            c
+        };
+        let a = Experiment::new(cfg()).run();
+        let b = Experiment::new(cfg()).run();
+        assert_eq!(a.dataset_json(), b.dataset_json());
+        // The heavy profile visibly degrades monitoring...
+        assert!(a.ground_truth.notifications_lost > 0);
+        assert!(a.ground_truth.monitoring_gaps > 0);
+        assert!(a
+            .dataset
+            .accounts
+            .iter()
+            .any(|m| m.coverage.is_some_and(|c| c < 1.0)));
+        // ...and every coverage fraction is a sane [0, 1] value.
+        assert!(a
+            .dataset
+            .accounts
+            .iter()
+            .all(|m| m.coverage.is_some_and(|c| (0.0..=1.0).contains(&c))));
     }
 
     #[test]

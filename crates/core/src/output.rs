@@ -41,6 +41,13 @@ pub struct GroundTruth {
     pub quota_notices_delivered: u64,
     /// Sandbox campaign log: one record per VM infect-and-login cycle.
     pub malware_cycles: Vec<CycleRecord>,
+    /// Script notifications lost in transit by the fault layer (zero in
+    /// fault-free runs).
+    pub notifications_lost: u64,
+    /// Redelivered notifications the collector deduplicated.
+    pub duplicate_notifications: u64,
+    /// Known monitoring blind windows recorded by the run.
+    pub monitoring_gaps: usize,
 }
 
 /// Everything a run produces.

@@ -1,0 +1,86 @@
+//! Sim-time retry with exponential backoff and jitter.
+
+use pwnd_sim::SimDuration;
+
+/// How a consumer retries a transiently failing operation. Delays are
+/// simulated time, not wall clock: a scraper that backs off 2 minutes
+/// re-attempts its login at `t + 2min` on the simulation clock.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (so 4 = 1 try + 3 retries).
+    pub max_attempts: u32,
+    /// Delay before the first retry.
+    pub base: SimDuration,
+    /// Multiplier applied per further retry.
+    pub factor: f64,
+    /// Ceiling on any single delay.
+    pub cap: SimDuration,
+    /// Jitter fraction in `[0, 1]`: each delay is scaled into
+    /// `[1 - jitter, 1 + jitter]` by the caller-supplied roll (equal
+    /// jitter keeps retries spread without ever collapsing to zero).
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: 4,
+            base: SimDuration::from_secs(30),
+            factor: 2.0,
+            cap: SimDuration::minutes(10),
+            jitter: 0.5,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff delay before retry number `retry` (0-based), jittered
+    /// by `roll` (a uniform `[0, 1)` draw the caller supplies — the
+    /// policy itself holds no RNG, so schedules stay reproducible).
+    pub fn delay(&self, retry: u32, roll: f64) -> SimDuration {
+        let raw = self.base.as_secs() as f64 * self.factor.powi(retry as i32);
+        let capped = raw.min(self.cap.as_secs() as f64);
+        let j = self.jitter.clamp(0.0, 1.0);
+        let scale = 1.0 - j + 2.0 * j * roll.clamp(0.0, 1.0);
+        SimDuration::from_secs((capped * scale).max(1.0) as u64)
+    }
+
+    /// Number of retries after the first attempt.
+    pub fn retries(&self) -> u32 {
+        self.max_attempts.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        let d0 = p.delay(0, 0.5);
+        let d1 = p.delay(1, 0.5);
+        let d2 = p.delay(2, 0.5);
+        assert!(d0 < d1 && d1 < d2);
+        // Far out, the cap binds.
+        assert_eq!(p.delay(20, 0.5), p.cap);
+    }
+
+    #[test]
+    fn jitter_spreads_but_never_zeroes() {
+        let p = RetryPolicy::default();
+        let lo = p.delay(0, 0.0);
+        let hi = p.delay(0, 0.999);
+        assert!(lo < hi);
+        assert!(lo >= SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn same_roll_same_delay() {
+        let p = RetryPolicy::default();
+        assert_eq!(p.delay(2, 0.37), p.delay(2, 0.37));
+    }
+}

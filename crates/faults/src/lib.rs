@@ -1,0 +1,35 @@
+#![warn(missing_docs)]
+
+//! # pwnd-faults — deterministic fault injection
+//!
+//! The paper's measurement infrastructure was lossy in practice: Apps
+//! Script quota kills and trigger misfires silenced scripts, hijackers
+//! deleted them outright, the activity-page scraper's logins failed
+//! transiently, and notification emails went missing (§4.4, §5). The
+//! pipeline outside this crate used to assume a perfect substrate; this
+//! crate models the imperfections so the rest of the stack can practice
+//! recovering from them.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism.** A [`FaultPlan`] is a pure function of
+//!    `(seed, profile, horizon)`. Compiling it twice yields equal plans,
+//!    and every per-event decision is a pure hash of the event's identity
+//!    — never a stateful draw — so decision order cannot perturb
+//!    outcomes. A given seed + profile reproduces the identical run.
+//! 2. **Isolation.** The fault stream derives from its own salted seed
+//!    and never consumes simulation RNG. With [`FaultProfile::none`] the
+//!    plan injects nothing and consumers take their historical paths:
+//!    faults-off output is byte-identical to a build without this crate.
+//! 3. **Recovery is the consumer's job.** The plan only *decides* what
+//!    fails; the scraper retries with [`RetryPolicy`] backoff, the
+//!    collector deduplicates at-least-once redelivery, and the dataset
+//!    builder turns known gaps into per-account coverage fractions.
+
+pub mod backoff;
+pub mod plan;
+pub mod profile;
+
+pub use backoff::RetryPolicy;
+pub use plan::{FaultPlan, NotificationFate, Window};
+pub use profile::FaultProfile;

@@ -1,0 +1,145 @@
+//! Fault profiles: how unreliable the world is asked to be.
+
+/// Rates and shapes for every fault kind the plan can inject. All rates
+/// are probabilities (per attempt, per notification, per account-day);
+/// window counts are expected occurrences per 30 simulated days.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultProfile {
+    /// Expected whole-infrastructure scraper outages per 30 days (the
+    /// monitoring host down, nothing scrapes).
+    pub scraper_outages_per_30d: f64,
+    /// Mean scraper outage duration, hours.
+    pub scraper_outage_hours: f64,
+    /// Probability one scraper login attempt fails transiently (browser
+    /// timeout, flaky login form). Retried with backoff.
+    pub scraper_flake_rate: f64,
+    /// Probability a script notification email is lost in transit.
+    pub notification_loss_rate: f64,
+    /// Probability a notification is redelivered (at-least-once duplicate).
+    pub notification_dup_rate: f64,
+    /// Probability an account's daily time-driven trigger misfires and
+    /// the whole tick (heartbeat + polling) is skipped.
+    pub trigger_misfire_rate: f64,
+    /// Expected webmail maintenance windows per 30 days (provider down:
+    /// every login, attacker or scraper, is refused).
+    pub maintenance_per_30d: f64,
+    /// Mean maintenance window duration, hours.
+    pub maintenance_hours: f64,
+}
+
+impl FaultProfile {
+    /// No faults at all. The plan compiled from this profile injects
+    /// nothing; consumers behave exactly as they did before the fault
+    /// layer existed.
+    pub fn none() -> FaultProfile {
+        FaultProfile {
+            scraper_outages_per_30d: 0.0,
+            scraper_outage_hours: 0.0,
+            scraper_flake_rate: 0.0,
+            notification_loss_rate: 0.0,
+            notification_dup_rate: 0.0,
+            trigger_misfire_rate: 0.0,
+            maintenance_per_30d: 0.0,
+            maintenance_hours: 0.0,
+        }
+    }
+
+    /// The dropout levels the paper's infrastructure plausibly suffered:
+    /// occasional flakes and losses, rare outages.
+    pub fn light() -> FaultProfile {
+        FaultProfile {
+            scraper_outages_per_30d: 0.5,
+            scraper_outage_hours: 4.0,
+            scraper_flake_rate: 0.05,
+            notification_loss_rate: 0.02,
+            notification_dup_rate: 0.02,
+            trigger_misfire_rate: 0.01,
+            maintenance_per_30d: 0.25,
+            maintenance_hours: 2.0,
+        }
+    }
+
+    /// Hostile conditions for chaos testing: frequent outages, lossy
+    /// delivery, misfiring triggers.
+    pub fn heavy() -> FaultProfile {
+        FaultProfile {
+            scraper_outages_per_30d: 3.0,
+            scraper_outage_hours: 12.0,
+            scraper_flake_rate: 0.25,
+            notification_loss_rate: 0.15,
+            notification_dup_rate: 0.10,
+            trigger_misfire_rate: 0.08,
+            maintenance_per_30d: 1.5,
+            maintenance_hours: 6.0,
+        }
+    }
+
+    /// Look a profile up by CLI name.
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        match name {
+            "none" => Some(FaultProfile::none()),
+            "light" => Some(FaultProfile::light()),
+            "heavy" => Some(FaultProfile::heavy()),
+            _ => None,
+        }
+    }
+
+    /// Scale every rate by `factor` (clamped to non-negative). The chaos
+    /// sweep uses this to trace a data-loss vs fault-rate curve; durations
+    /// are left alone so windows stay comparable across factors.
+    pub fn scaled(&self, factor: f64) -> FaultProfile {
+        let f = factor.max(0.0);
+        FaultProfile {
+            scraper_outages_per_30d: self.scraper_outages_per_30d * f,
+            scraper_outage_hours: self.scraper_outage_hours,
+            scraper_flake_rate: (self.scraper_flake_rate * f).min(1.0),
+            notification_loss_rate: (self.notification_loss_rate * f).min(1.0),
+            notification_dup_rate: (self.notification_dup_rate * f).min(1.0),
+            trigger_misfire_rate: (self.trigger_misfire_rate * f).min(1.0),
+            maintenance_per_30d: self.maintenance_per_30d * f,
+            maintenance_hours: self.maintenance_hours,
+        }
+    }
+
+    /// Whether this profile injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        self.scraper_outages_per_30d == 0.0
+            && self.scraper_flake_rate == 0.0
+            && self.notification_loss_rate == 0.0
+            && self.notification_dup_rate == 0.0
+            && self.trigger_misfire_rate == 0.0
+            && self.maintenance_per_30d == 0.0
+    }
+}
+
+impl Default for FaultProfile {
+    fn default() -> FaultProfile {
+        FaultProfile::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_profiles_resolve() {
+        assert!(FaultProfile::by_name("none").unwrap().is_none());
+        assert!(!FaultProfile::by_name("light").unwrap().is_none());
+        assert!(!FaultProfile::by_name("heavy").unwrap().is_none());
+        assert!(FaultProfile::by_name("nope").is_none());
+    }
+
+    #[test]
+    fn scaling_to_zero_is_none() {
+        assert!(FaultProfile::heavy().scaled(0.0).is_none());
+        assert_eq!(FaultProfile::heavy().scaled(1.0), FaultProfile::heavy());
+    }
+
+    #[test]
+    fn scaling_clamps_probabilities() {
+        let p = FaultProfile::heavy().scaled(100.0);
+        assert!(p.scraper_flake_rate <= 1.0);
+        assert!(p.notification_loss_rate <= 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property tests: fault plans are pure functions of (seed, profile).
+
+use proptest::prelude::*;
+use pwnd_faults::{FaultPlan, FaultProfile, NotificationFate, RetryPolicy};
+use pwnd_sim::{SimDuration, SimTime};
+
+fn profile(
+    outages: f64,
+    flake: f64,
+    loss: f64,
+    dup: f64,
+    misfire: f64,
+    maint: f64,
+) -> FaultProfile {
+    FaultProfile {
+        scraper_outages_per_30d: outages,
+        scraper_outage_hours: 6.0,
+        scraper_flake_rate: flake,
+        notification_loss_rate: loss,
+        notification_dup_rate: dup,
+        trigger_misfire_rate: misfire,
+        maintenance_per_30d: maint,
+        maintenance_hours: 3.0,
+    }
+}
+
+proptest! {
+    /// Two compilations of the same (seed, profile, horizon) are
+    /// identical — the plan is a pure function of its inputs.
+    #[test]
+    fn plan_is_pure_function_of_seed_and_profile(
+        seed in any::<u64>(),
+        days in 1u64..400,
+        outages in 0.0f64..4.0,
+        flake in 0.0f64..0.5,
+        loss in 0.0f64..0.4,
+        dup in 0.0f64..0.4,
+        misfire in 0.0f64..0.2,
+        maint in 0.0f64..2.0,
+    ) {
+        let p = profile(outages, flake, loss, dup, misfire, maint);
+        let h = SimDuration::days(days);
+        let a = FaultPlan::compile(seed, &p, h);
+        let b = FaultPlan::compile(seed, &p, h);
+        prop_assert_eq!(&a, &b);
+        // Per-event decisions agree too, at arbitrary probe points.
+        for probe in 0..32u64 {
+            let t = SimTime::from_secs(probe * 97_001);
+            prop_assert_eq!(a.login_flakes(probe as u32, t, 0),
+                            b.login_flakes(probe as u32, t, 0));
+            prop_assert_eq!(a.notification_fate(probe as u32, probe),
+                            b.notification_fate(probe as u32, probe));
+            prop_assert_eq!(a.trigger_misfires(probe as u32, probe),
+                            b.trigger_misfires(probe as u32, probe));
+            prop_assert!(a.jitter_roll(probe as u32, t, 1)
+                == b.jitter_roll(probe as u32, t, 1));
+        }
+    }
+
+    /// The none profile injects nothing regardless of seed.
+    #[test]
+    fn none_profile_is_inert_for_any_seed(seed in any::<u64>(), probe in any::<u64>()) {
+        let plan = FaultPlan::compile(seed, &FaultProfile::none(), SimDuration::days(236));
+        let t = SimTime::from_secs(probe % 20_000_000);
+        prop_assert!(plan.is_none());
+        prop_assert!(!plan.scraper_outage_at(t));
+        prop_assert!(!plan.maintenance_at(t));
+        prop_assert!(!plan.login_flakes((probe % 100) as u32, t, 0));
+        prop_assert!(!plan.trigger_misfires((probe % 100) as u32, probe % 236));
+        prop_assert_eq!(
+            plan.notification_fate((probe % 100) as u32, probe),
+            NotificationFate::Deliver
+        );
+    }
+
+    /// Backoff delays are monotone in the retry index (modulo cap) and
+    /// deterministic in the roll.
+    #[test]
+    fn backoff_is_deterministic_and_bounded(retry in 0u32..12, roll in 0.0f64..1.0) {
+        let p = RetryPolicy::default();
+        let d = p.delay(retry, roll);
+        prop_assert_eq!(d, p.delay(retry, roll));
+        prop_assert!(d >= SimDuration::from_secs(1));
+        // Cap plus full positive jitter bounds every delay.
+        prop_assert!(d.as_secs() <= p.cap.as_secs() * 2);
+    }
+}

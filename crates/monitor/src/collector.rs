@@ -1,10 +1,19 @@
 //! The dedicated collector account that receives script notifications.
+//!
+//! Delivery from the in-account scripts is *at-least-once*: the fault
+//! layer can lose a notification outright or redeliver it, so the
+//! collector deduplicates on the `(account, seq)` delivery id every
+//! script stamps on its messages. It also keeps a constant-time
+//! last-heartbeat index per account, which both block detection and the
+//! dead-window (coverage) analysis read.
 
 use pwnd_corpus::email::EmailId;
+use pwnd_faults::{FaultPlan, NotificationFate};
 use pwnd_net::access::CookieId;
-use pwnd_sim::SimTime;
+use pwnd_sim::{SimDuration, SimTime};
 use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
+use std::collections::{HashMap, HashSet};
 
 /// What a notification reports.
 #[derive(Clone, Debug, PartialEq)]
@@ -47,6 +56,9 @@ pub struct Notification {
     pub account: AccountId,
     /// When the triggering activity happened.
     pub at: SimTime,
+    /// Per-script delivery sequence number. Redeliveries reuse it, which
+    /// is how the collector recognizes duplicates.
+    pub seq: u64,
     /// Access cookie of the actor, when the event has one (heartbeats
     /// don't).
     pub cookie: Option<CookieId>,
@@ -59,6 +71,15 @@ pub struct Notification {
 #[derive(Clone, Debug, Default)]
 pub struct NotificationCollector {
     notifications: Vec<Notification>,
+    /// Delivery ids already stored, for at-least-once dedup.
+    seen: HashSet<(u32, u64)>,
+    /// Constant-time per-account last-heartbeat index, maintained on
+    /// receive (the dataset builder queries it once per account; the old
+    /// implementation re-scanned the whole notification vector per call).
+    last_heartbeat: HashMap<AccountId, SimTime>,
+    fault_plan: FaultPlan,
+    duplicates: u64,
+    lost: u64,
     telemetry: TelemetrySink,
 }
 
@@ -68,13 +89,45 @@ impl NotificationCollector {
         NotificationCollector::default()
     }
 
-    /// Attach a telemetry sink (`monitor.notifications{kind}`).
+    /// Attach a telemetry sink (`monitor.notifications{kind}`,
+    /// `monitor.duplicate_notifications`, `faults.injected{...}`).
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
     }
 
-    /// Receive one notification.
+    /// Attach the run's fault plan. In-transit loss and redelivery are
+    /// decided per notification as it arrives; the default plan delivers
+    /// everything exactly once.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Receive one notification, applying in-transit faults: the message
+    /// may be lost, delivered once, or delivered twice (at-least-once).
+    /// Duplicates are detected by delivery id and dropped.
     pub fn receive(&mut self, n: Notification) {
+        match self.fault_plan.notification_fate(n.account.0, n.seq) {
+            NotificationFate::Deliver => self.deliver(n),
+            NotificationFate::Lose => {
+                self.lost += 1;
+                self.telemetry
+                    .count_labeled("faults.injected", "notification_loss");
+            }
+            NotificationFate::DeliverTwice => {
+                self.telemetry
+                    .count_labeled("faults.injected", "notification_dup");
+                self.deliver(n.clone());
+                self.deliver(n);
+            }
+        }
+    }
+
+    fn deliver(&mut self, n: Notification) {
+        if !self.seen.insert((n.account.0, n.seq)) {
+            self.duplicates += 1;
+            self.telemetry.count("monitor.duplicate_notifications");
+            return;
+        }
         let kind = match n.kind {
             NotificationKind::Opened { .. } => "opened",
             NotificationKind::Starred { .. } => "starred",
@@ -83,6 +136,12 @@ impl NotificationCollector {
             NotificationKind::Heartbeat => "heartbeat",
         };
         self.telemetry.count_labeled("monitor.notifications", kind);
+        if matches!(n.kind, NotificationKind::Heartbeat) {
+            let hb = self.last_heartbeat.entry(n.account).or_insert(n.at);
+            if n.at > *hb {
+                *hb = n.at;
+            }
+        }
         self.notifications.push(n);
     }
 
@@ -98,12 +157,46 @@ impl NotificationCollector {
             .filter(move |n| n.account == account)
     }
 
-    /// The last heartbeat seen from an account, if any.
+    /// The last heartbeat seen from an account, if any. O(1): served
+    /// from the index maintained on receive.
     pub fn last_heartbeat(&self, account: AccountId) -> Option<SimTime> {
-        self.for_account(account)
+        self.last_heartbeat.get(&account).copied()
+    }
+
+    /// Internal heartbeat dead windows for one account: spans between
+    /// two *received* consecutive heartbeats further apart than
+    /// `min_gap`. A dead window means monitoring was blind while the
+    /// account was demonstrably still alive (a later heartbeat arrived),
+    /// so it is a known coverage gap, not censoring. The trailing
+    /// silence before the horizon is deliberately excluded — that is the
+    /// block-detection signal, handled separately.
+    pub fn heartbeat_gaps(
+        &self,
+        account: AccountId,
+        min_gap: SimDuration,
+    ) -> Vec<(SimTime, SimTime)> {
+        let mut beats: Vec<SimTime> = self
+            .for_account(account)
             .filter(|n| matches!(n.kind, NotificationKind::Heartbeat))
             .map(|n| n.at)
-            .max()
+            .collect();
+        beats.sort_unstable();
+        beats
+            .windows(2)
+            .filter(|w| w[1].since(w[0]) > min_gap)
+            .map(|w| (w[0], w[1]))
+            .collect()
+    }
+
+    /// Notifications lost in transit (infrastructure-side count, used by
+    /// ground truth and the chaos report — analyses never read it).
+    pub fn lost_in_transit(&self) -> u64 {
+        self.lost
+    }
+
+    /// Redelivered notifications caught by dedup.
+    pub fn duplicates_detected(&self) -> u64 {
+        self.duplicates
     }
 
     /// Text snapshots of every opened email (document `d_R` of §4.3.5).
@@ -129,11 +222,13 @@ impl NotificationCollector {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pwnd_faults::FaultProfile;
 
-    fn note(acct: u32, at: u64, kind: NotificationKind) -> Notification {
+    fn note(acct: u32, at: u64, seq: u64, kind: NotificationKind) -> Notification {
         Notification {
             account: AccountId(acct),
             at: SimTime::from_secs(at),
+            seq,
             cookie: Some(CookieId(1)),
             kind,
         }
@@ -142,9 +237,14 @@ mod tests {
     #[test]
     fn collects_and_filters_by_account() {
         let mut c = NotificationCollector::new();
-        c.receive(note(1, 10, NotificationKind::Heartbeat));
-        c.receive(note(2, 20, NotificationKind::Starred { email: EmailId(5) }));
-        c.receive(note(1, 30, NotificationKind::Heartbeat));
+        c.receive(note(1, 10, 0, NotificationKind::Heartbeat));
+        c.receive(note(
+            2,
+            20,
+            1,
+            NotificationKind::Starred { email: EmailId(5) },
+        ));
+        c.receive(note(1, 30, 2, NotificationKind::Heartbeat));
         assert_eq!(c.all().len(), 3);
         assert_eq!(c.for_account(AccountId(1)).count(), 2);
         assert_eq!(c.last_heartbeat(AccountId(1)), Some(SimTime::from_secs(30)));
@@ -158,6 +258,7 @@ mod tests {
         c.receive(note(
             1,
             10,
+            0,
             NotificationKind::Opened {
                 email: EmailId(1),
                 text: "payment details".into(),
@@ -166,11 +267,62 @@ mod tests {
         c.receive(note(
             1,
             20,
+            1,
             NotificationKind::DraftCopy {
                 email: EmailId(2),
                 text: "bitcoin ransom".into(),
             },
         ));
         assert_eq!(c.opened_texts(), vec!["payment details"]);
+    }
+
+    #[test]
+    fn duplicate_deliveries_are_dropped() {
+        let mut c = NotificationCollector::new();
+        c.receive(note(1, 10, 7, NotificationKind::Heartbeat));
+        c.receive(note(1, 10, 7, NotificationKind::Heartbeat));
+        assert_eq!(c.all().len(), 1);
+        assert_eq!(c.duplicates_detected(), 1);
+        // Same seq on a different account is not a duplicate.
+        c.receive(note(2, 10, 7, NotificationKind::Heartbeat));
+        assert_eq!(c.all().len(), 2);
+    }
+
+    #[test]
+    fn lossy_plan_drops_some_and_dedup_absorbs_redelivery() {
+        let profile = FaultProfile {
+            notification_loss_rate: 0.3,
+            notification_dup_rate: 0.3,
+            ..FaultProfile::none()
+        };
+        let mut c = NotificationCollector::new();
+        c.set_fault_plan(FaultPlan::compile(5, &profile, SimDuration::days(30)));
+        for s in 0..200 {
+            c.receive(note(1, 10 + s, s, NotificationKind::Heartbeat));
+        }
+        let stored = c.all().len() as u64;
+        assert!(c.lost_in_transit() > 0);
+        assert!(c.duplicates_detected() > 0);
+        // Every non-lost notification is stored exactly once.
+        assert_eq!(stored, 200 - c.lost_in_transit());
+    }
+
+    #[test]
+    fn heartbeat_gaps_report_internal_silence_only() {
+        let mut c = NotificationCollector::new();
+        let day = 86_400u64;
+        // Beats on days 0, 1, 5, 6 — a 4-day internal hole.
+        for (s, d) in [0u64, 1, 5, 6].iter().enumerate() {
+            c.receive(note(1, d * day, s as u64, NotificationKind::Heartbeat));
+        }
+        let gaps = c.heartbeat_gaps(AccountId(1), SimDuration::days(2));
+        assert_eq!(gaps.len(), 1);
+        assert_eq!(gaps[0].0, SimTime::from_secs(day));
+        assert_eq!(gaps[0].1, SimTime::from_secs(5 * day));
+        // No beats at all: no internal gaps (the tail is block detection's
+        // problem).
+        assert!(c
+            .heartbeat_gaps(AccountId(9), SimDuration::days(2))
+            .is_empty());
     }
 }

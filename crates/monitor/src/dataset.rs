@@ -90,6 +90,27 @@ pub struct AccountRecord {
     pub hijack_detected_secs: Option<u64>,
     /// When the scraper first observed a block, if ever.
     pub block_detected_secs: Option<u64>,
+    /// Fraction of this account's observation window (leak to
+    /// detection/horizon) not covered by a known monitoring gap.
+    /// `None` when the run tracked no gaps (fault-free runs omit the
+    /// field entirely from exports, keeping them byte-identical to
+    /// pre-coverage output).
+    pub coverage: Option<f64>,
+}
+
+/// One known monitoring blind window, attributed to its cause.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GapRecord {
+    /// Account index.
+    pub account: u32,
+    /// What caused the gap: `"scraper"` (outage, give-up, or unconfirmed
+    /// failure stretch), `"heartbeat"` (script dead window), or
+    /// `"maintenance"` (provider downtime).
+    pub kind: String,
+    /// Gap start (seconds).
+    pub from_secs: u64,
+    /// Gap end (seconds).
+    pub until_secs: u64,
 }
 
 /// The full published dataset.
@@ -102,12 +123,17 @@ pub struct Dataset {
     /// Text snapshots of every email the attackers opened (document `d_R`
     /// of the TF-IDF analysis).
     pub opened_texts: Vec<String>,
+    /// Known monitoring blind windows (empty — and absent from exports —
+    /// in fault-free runs).
+    pub gaps: Vec<GapRecord>,
 }
 
 impl Dataset {
-    /// Serialize to pretty JSON (the export format).
+    /// Serialize to pretty JSON (the export format). The `gaps` key is
+    /// emitted only when gaps were tracked, so fault-free exports are
+    /// byte-identical to the pre-coverage format.
     pub fn to_json(&self) -> String {
-        Json::Obj(vec![
+        let mut fields = vec![
             (
                 "accesses".to_string(),
                 Json::Arr(
@@ -135,13 +161,29 @@ impl Dataset {
                         .collect(),
                 ),
             ),
-        ])
-        .pretty()
+        ];
+        if !self.gaps.is_empty() {
+            fields.push((
+                "gaps".to_string(),
+                Json::Arr(self.gaps.iter().map(GapRecord::to_json_value).collect()),
+            ));
+        }
+        Json::Obj(fields).pretty()
     }
 
-    /// Parse from JSON.
+    /// Parse from JSON. Tolerates exports from before gap tracking
+    /// existed (no `gaps` key, no per-account `coverage`).
     pub fn from_json(s: &str) -> Result<Dataset, JsonError> {
         let root = Json::parse(s)?;
+        let gaps = match root.get("gaps") {
+            Some(v) => v
+                .as_array()
+                .ok_or_else(|| type_err("gaps", "array"))?
+                .iter()
+                .map(GapRecord::from_json_value)
+                .collect::<Result<_, _>>()?,
+            None => Vec::new(),
+        };
         Ok(Dataset {
             accesses: array_field(&root, "accesses")?
                 .iter()
@@ -159,6 +201,7 @@ impl Dataset {
                         .ok_or_else(|| type_err("opened_texts", "string"))
                 })
                 .collect::<Result<_, _>>()?,
+            gaps,
         })
     }
 
@@ -324,7 +367,7 @@ impl ParsedAccess {
 
 impl AccountRecord {
     fn to_json_value(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("account".to_string(), Json::U(u64::from(self.account))),
             ("outlet".to_string(), Json::Str(self.outlet.clone())),
             (
@@ -340,10 +383,21 @@ impl AccountRecord {
                 "block_detected_secs".to_string(),
                 self.block_detected_secs.map_or(Json::Null, Json::U),
             ),
-        ])
+        ];
+        // Omitted (not null) when untracked: fault-free exports keep the
+        // historical byte-exact shape.
+        if let Some(c) = self.coverage {
+            fields.push(("coverage".to_string(), Json::F(c)));
+        }
+        Json::Obj(fields)
     }
 
     fn from_json_value(v: &Json) -> Result<AccountRecord, JsonError> {
+        let coverage = match v.get("coverage") {
+            None => None,
+            Some(f) if f.is_null() => None,
+            Some(f) => Some(f.as_f64().ok_or_else(|| type_err("coverage", "number"))?),
+        };
         Ok(AccountRecord {
             account: u32_field(v, "account")?,
             outlet: str_field(v, "outlet")?,
@@ -351,6 +405,27 @@ impl AccountRecord {
             leaked_at_secs: u64_field(v, "leaked_at_secs")?,
             hijack_detected_secs: opt_u64_field(v, "hijack_detected_secs")?,
             block_detected_secs: opt_u64_field(v, "block_detected_secs")?,
+            coverage,
+        })
+    }
+}
+
+impl GapRecord {
+    fn to_json_value(&self) -> Json {
+        Json::Obj(vec![
+            ("account".to_string(), Json::U(u64::from(self.account))),
+            ("kind".to_string(), Json::Str(self.kind.clone())),
+            ("from_secs".to_string(), Json::U(self.from_secs)),
+            ("until_secs".to_string(), Json::U(self.until_secs)),
+        ])
+    }
+
+    fn from_json_value(v: &Json) -> Result<GapRecord, JsonError> {
+        Ok(GapRecord {
+            account: u32_field(v, "account")?,
+            kind: str_field(v, "kind")?,
+            from_secs: u64_field(v, "from_secs")?,
+            until_secs: u64_field(v, "until_secs")?,
         })
     }
 }
@@ -386,6 +461,8 @@ pub struct DatasetBuilder<'a> {
     collector: &'a NotificationCollector,
     own_cookies: HashSet<u64>,
     meta: Vec<AccountRecord>,
+    gaps: Vec<GapRecord>,
+    coverage_horizon_secs: Option<u64>,
 }
 
 impl<'a> DatasetBuilder<'a> {
@@ -401,6 +478,8 @@ impl<'a> DatasetBuilder<'a> {
             collector,
             own_cookies: HashSet::new(),
             meta: Vec::new(),
+            gaps: Vec::new(),
+            coverage_horizon_secs: None,
         }
     }
 
@@ -414,6 +493,16 @@ impl<'a> DatasetBuilder<'a> {
     /// times).
     pub fn with_accounts(mut self, meta: Vec<AccountRecord>) -> Self {
         self.meta = meta;
+        self
+    }
+
+    /// Attach the run's known monitoring gaps and enable per-account
+    /// coverage computation against the given run horizon. Not calling
+    /// this leaves `coverage` unset and `gaps` empty — the fault-free
+    /// export shape.
+    pub fn with_gaps(mut self, gaps: Vec<GapRecord>, horizon_secs: u64) -> Self {
+        self.gaps = gaps;
+        self.coverage_horizon_secs = Some(horizon_secs);
         self
     }
 
@@ -540,12 +629,64 @@ impl<'a> DatasetBuilder<'a> {
             .map(String::from)
             .collect();
 
+        let mut accounts = self.meta;
+        if let Some(horizon) = self.coverage_horizon_secs {
+            for m in &mut accounts {
+                m.coverage = Some(account_coverage(m, &self.gaps, horizon));
+            }
+        }
+
         Dataset {
             accesses,
-            accounts: self.meta,
+            accounts,
             opened_texts,
+            gaps: self.gaps,
         }
     }
+}
+
+/// Coverage of one account's observation window: the window runs from
+/// the leak to the first detection (hijack or block) or the run horizon,
+/// and every known gap clipped into it counts as blind time. Overlapping
+/// gaps (say a provider maintenance inside a scraper outage) are merged
+/// before measuring, so blind time is never double-counted.
+fn account_coverage(m: &AccountRecord, gaps: &[GapRecord], horizon_secs: u64) -> f64 {
+    let lo = m.leaked_at_secs;
+    let hi = [m.hijack_detected_secs, m.block_detected_secs]
+        .into_iter()
+        .flatten()
+        .min()
+        .unwrap_or(horizon_secs)
+        .min(horizon_secs);
+    if hi <= lo {
+        return 1.0;
+    }
+    let mut clipped: Vec<(u64, u64)> = gaps
+        .iter()
+        .filter(|g| g.account == m.account)
+        .filter_map(|g| {
+            let s = g.from_secs.max(lo);
+            let e = g.until_secs.min(hi);
+            (s < e).then_some((s, e))
+        })
+        .collect();
+    clipped.sort_unstable();
+    let mut blind = 0u64;
+    let mut current: Option<(u64, u64)> = None;
+    for (s, e) in clipped {
+        match current {
+            Some((cs, ce)) if s <= ce => current = Some((cs, ce.max(e))),
+            Some((cs, ce)) => {
+                blind += ce - cs;
+                current = Some((s, e));
+            }
+            None => current = Some((s, e)),
+        }
+    }
+    if let Some((cs, ce)) = current {
+        blind += ce - cs;
+    }
+    1.0 - blind as f64 / (hi - lo) as f64
 }
 
 fn account_key(a: AccountId) -> u32 {
@@ -598,6 +739,7 @@ mod tests {
             leaked_at_secs: 0,
             hijack_detected_secs: None,
             block_detected_secs: None,
+            coverage: None,
         }
     }
 
@@ -621,6 +763,7 @@ mod tests {
         col.receive(Notification {
             account: AccountId(0),
             at: SimTime::from_secs(170),
+            seq: 0,
             cookie: Some(CookieId(7)),
             kind: NotificationKind::Opened {
                 email: pwnd_corpus::email::EmailId(1),
@@ -767,6 +910,101 @@ mod tests {
         let json = ds.to_json();
         let back = Dataset::from_json(&json).unwrap();
         assert_eq!(back.accesses, ds.accesses);
+        assert_eq!(back.accounts, ds.accounts);
+    }
+
+    #[test]
+    fn coverage_reflects_clipped_merged_gaps() {
+        let geo = geolocator();
+        let col = NotificationCollector::new();
+        let mut m = meta(0);
+        m.leaked_at_secs = 100;
+        // Observation window [100, 1100); two overlapping gaps and one
+        // outside the window.
+        let gaps = vec![
+            GapRecord {
+                account: 0,
+                kind: "scraper".into(),
+                from_secs: 200,
+                until_secs: 400,
+            },
+            GapRecord {
+                account: 0,
+                kind: "maintenance".into(),
+                from_secs: 300,
+                until_secs: 500,
+            },
+            GapRecord {
+                account: 0,
+                kind: "scraper".into(),
+                from_secs: 5_000,
+                until_secs: 6_000,
+            },
+        ];
+        let ds = DatasetBuilder::new(&geo, &[], &col)
+            .with_accounts(vec![m])
+            .with_gaps(gaps, 1_100)
+            .build();
+        // Merged blind time is [200, 500) = 300s of a 1000s window.
+        let cov = ds.accounts[0].coverage.unwrap();
+        assert!((cov - 0.7).abs() < 1e-9, "coverage {cov}");
+        assert_eq!(ds.gaps.len(), 3);
+    }
+
+    #[test]
+    fn coverage_window_ends_at_detection() {
+        let geo = geolocator();
+        let col = NotificationCollector::new();
+        let mut m = meta(0);
+        m.hijack_detected_secs = Some(600);
+        // Gap [400, 800) clips to [400, 600): 200s of a 600s window.
+        let gaps = vec![GapRecord {
+            account: 0,
+            kind: "scraper".into(),
+            from_secs: 400,
+            until_secs: 800,
+        }];
+        let ds = DatasetBuilder::new(&geo, &[], &col)
+            .with_accounts(vec![m])
+            .with_gaps(gaps, 10_000)
+            .build();
+        let cov = ds.accounts[0].coverage.unwrap();
+        assert!((cov - 2.0 / 3.0).abs() < 1e-9, "coverage {cov}");
+    }
+
+    #[test]
+    fn gapless_build_keeps_legacy_json_shape() {
+        let geo = geolocator();
+        let col = NotificationCollector::new();
+        let ds = DatasetBuilder::new(&geo, &[], &col)
+            .with_accounts(vec![meta(0)])
+            .build();
+        let json = ds.to_json();
+        assert!(!json.contains("\"gaps\""));
+        assert!(!json.contains("\"coverage\""));
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.accounts, ds.accounts);
+        assert!(back.gaps.is_empty());
+    }
+
+    #[test]
+    fn json_roundtrip_with_gaps_and_coverage() {
+        let geo = geolocator();
+        let col = NotificationCollector::new();
+        let gaps = vec![GapRecord {
+            account: 0,
+            kind: "heartbeat".into(),
+            from_secs: 10,
+            until_secs: 20,
+        }];
+        let ds = DatasetBuilder::new(&geo, &[], &col)
+            .with_accounts(vec![meta(0)])
+            .with_gaps(gaps, 100)
+            .build();
+        let json = ds.to_json();
+        assert!(json.contains("\"gaps\""));
+        let back = Dataset::from_json(&json).unwrap();
+        assert_eq!(back.gaps, ds.gaps);
         assert_eq!(back.accounts, ds.accounts);
     }
 

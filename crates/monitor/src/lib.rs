@@ -30,6 +30,6 @@ pub mod scraper;
 pub mod script;
 
 pub use collector::{Notification, NotificationCollector, NotificationKind};
-pub use dataset::{Dataset, DatasetBuilder, ParsedAccess};
+pub use dataset::{Dataset, DatasetBuilder, GapRecord, ParsedAccess};
 pub use scraper::{ScrapeOutcome, Scraper};
 pub use script::{ScriptRuntime, ScriptState};

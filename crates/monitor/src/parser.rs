@@ -13,6 +13,7 @@ use pwnd_net::geo::GeoPoint;
 use pwnd_net::geolocate::GeoLocation;
 use pwnd_net::useragent::{Browser, Fingerprint, Os};
 use pwnd_sim::SimTime;
+use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::activity::ActivityRow;
 use std::net::Ipv4Addr;
 
@@ -98,12 +99,46 @@ fn city_from_name(name: &str) -> &'static str {
         .unwrap_or("Unknown")
 }
 
-/// Parse a dump file produced by [`render_page`].
-pub fn parse_page(text: &str) -> Result<ParsedPage, ParseError> {
-    let err = |line: usize, reason: &str| ParseError {
+fn err(line: usize, reason: &str) -> ParseError {
+    ParseError {
         line,
         reason: reason.to_string(),
+    }
+}
+
+fn parse_row(n: usize, parts: &[&str]) -> Result<ActivityRow, ParseError> {
+    if parts.len() != 9 {
+        return Err(err(n, "row needs 9 fields"));
+    }
+    let cookie: u64 = parts[0].parse().map_err(|_| err(n, "bad cookie"))?;
+    let at: u64 = parts[1].parse().map_err(|_| err(n, "bad time"))?;
+    let ip: Ipv4Addr = parts[2].parse().map_err(|_| err(n, "bad ip"))?;
+    let country = if parts[3] == "??" {
+        None
+    } else {
+        country_from_code(parts[3])
     };
+    let lat: f64 = parts[5].parse().map_err(|_| err(n, "bad lat"))?;
+    let lon: f64 = parts[6].parse().map_err(|_| err(n, "bad lon"))?;
+    Ok(ActivityRow {
+        cookie: CookieId(cookie),
+        at: SimTime::from_secs(at),
+        ip,
+        location: GeoLocation {
+            country,
+            city: city_from_name(parts[4]),
+            point: GeoPoint { lat, lon },
+        },
+        fingerprint: Fingerprint {
+            browser: browser_from_label(parts[7]),
+            os: os_from_label(parts[8]),
+        },
+    })
+}
+
+/// Shared parse loop. `strict` aborts on the first bad data line;
+/// lenient mode records the failure and keeps going.
+fn parse_inner(text: &str, strict: bool) -> Result<(ParsedPage, Vec<ParseError>), ParseError> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, l)) if l == DUMP_HEADER => {}
@@ -112,65 +147,89 @@ pub fn parse_page(text: &str) -> Result<ParsedPage, ParseError> {
     let mut account: Option<u32> = None;
     let mut scraped_at: Option<SimTime> = None;
     let mut rows = Vec::new();
+    let mut failures = Vec::new();
     for (i, line) in lines {
         let n = i + 1;
         let mut fields = line.split('\t');
-        match fields.next() {
-            Some("account") => {
-                account = Some(
-                    fields
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| err(n, "bad account"))?,
-                );
-            }
-            Some("scraped_at") => {
-                scraped_at = Some(SimTime::from_secs(
-                    fields
-                        .next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(|| err(n, "bad scraped_at"))?,
-                ));
-            }
+        let result = match fields.next() {
+            Some("account") => match fields.next().and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    account = Some(v);
+                    Ok(())
+                }
+                None => Err(err(n, "bad account")),
+            },
+            Some("scraped_at") => match fields.next().and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    scraped_at = Some(SimTime::from_secs(v));
+                    Ok(())
+                }
+                None => Err(err(n, "bad scraped_at")),
+            },
             Some("row") => {
                 let parts: Vec<&str> = fields.collect();
-                if parts.len() != 9 {
-                    return Err(err(n, "row needs 9 fields"));
-                }
-                let cookie: u64 = parts[0].parse().map_err(|_| err(n, "bad cookie"))?;
-                let at: u64 = parts[1].parse().map_err(|_| err(n, "bad time"))?;
-                let ip: Ipv4Addr = parts[2].parse().map_err(|_| err(n, "bad ip"))?;
-                let country = if parts[3] == "??" {
-                    None
-                } else {
-                    country_from_code(parts[3])
-                };
-                let lat: f64 = parts[5].parse().map_err(|_| err(n, "bad lat"))?;
-                let lon: f64 = parts[6].parse().map_err(|_| err(n, "bad lon"))?;
-                rows.push(ActivityRow {
-                    cookie: CookieId(cookie),
-                    at: SimTime::from_secs(at),
-                    ip,
-                    location: GeoLocation {
-                        country,
-                        city: city_from_name(parts[4]),
-                        point: GeoPoint { lat, lon },
-                    },
-                    fingerprint: Fingerprint {
-                        browser: browser_from_label(parts[7]),
-                        os: os_from_label(parts[8]),
-                    },
-                });
+                parse_row(n, &parts).map(|r| rows.push(r))
             }
-            Some("") | None => continue,
-            Some(other) => return Err(err(n, &format!("unknown record {other}"))),
+            Some("") | None => Ok(()),
+            Some(other) => Err(err(n, &format!("unknown record {other}"))),
+        };
+        if let Err(e) = result {
+            if strict {
+                return Err(e);
+            }
+            failures.push(e);
         }
     }
-    Ok(ParsedPage {
+    let page = ParsedPage {
         account: account.ok_or_else(|| err(0, "no account record"))?,
         scraped_at: scraped_at.ok_or_else(|| err(0, "no scraped_at record"))?,
         rows,
-    })
+    };
+    Ok((page, failures))
+}
+
+/// Parse a dump file produced by [`render_page`], aborting on the first
+/// malformed line (the historical strict behavior; round-trip tests use
+/// it to prove dumps are well formed).
+pub fn parse_page(text: &str) -> Result<ParsedPage, ParseError> {
+    parse_inner(text, true).map(|(page, _)| page)
+}
+
+/// Parse a dump file, skipping malformed data lines instead of aborting.
+/// Returns the recovered page plus every failure encountered. Only a
+/// structural failure — missing header, or no account / scrape-time
+/// record anywhere in the file — still fails the whole page: a truncated
+/// or partially corrupted dump should cost the corrupt rows, not the
+/// entire scrape.
+pub fn parse_page_resilient(text: &str) -> Result<(ParsedPage, Vec<ParseError>), ParseError> {
+    parse_inner(text, false)
+}
+
+/// Parse a batch of dump files leniently. Unsalvageable pages and
+/// skipped lines are counted into `monitor.parse_failures` (labels
+/// `page` and `line`) and reported alongside the recovered pages.
+pub fn parse_dumps(
+    texts: &[String],
+    telemetry: &TelemetrySink,
+) -> (Vec<ParsedPage>, Vec<ParseError>) {
+    let mut pages = Vec::new();
+    let mut failures = Vec::new();
+    for text in texts {
+        match parse_page_resilient(text) {
+            Ok((page, errs)) => {
+                if !errs.is_empty() {
+                    telemetry.count_labeled_by("monitor.parse_failures", "line", errs.len() as u64);
+                }
+                pages.push(page);
+                failures.extend(errs);
+            }
+            Err(e) => {
+                telemetry.count_labeled("monitor.parse_failures", "page");
+                failures.push(e);
+            }
+        }
+    }
+    (pages, failures)
 }
 
 #[cfg(test)]
@@ -256,5 +315,45 @@ mod tests {
         let text = render_page(5, SimTime::ZERO, &[]);
         let parsed = parse_page(&text).unwrap();
         assert!(parsed.rows.is_empty());
+    }
+
+    #[test]
+    fn resilient_parse_skips_bad_lines_and_keeps_good_rows() {
+        let rows = sample_rows();
+        let clean = render_page(42, SimTime::from_secs(3_000), &rows);
+        // Corrupt the middle: inject a truncated row and an unknown
+        // record between the two good rows.
+        let mut lines: Vec<&str> = clean.lines().collect();
+        lines.insert(4, "row\tgarbage");
+        lines.insert(5, "whatever\tx");
+        let corrupted = lines.join("\n");
+        assert!(parse_page(&corrupted).is_err(), "strict parse must abort");
+        let (page, failures) = parse_page_resilient(&corrupted).unwrap();
+        assert_eq!(page.rows.len(), 2, "both good rows survive");
+        assert_eq!(failures.len(), 2);
+        assert_eq!(failures[0].line, 5);
+        assert_eq!(failures[1].line, 6);
+    }
+
+    #[test]
+    fn resilient_parse_still_rejects_structural_damage() {
+        assert!(parse_page_resilient("no header here\n").is_err());
+        let no_account = format!("{DUMP_HEADER}\nscraped_at\t5\n");
+        assert!(parse_page_resilient(&no_account).is_err());
+    }
+
+    #[test]
+    fn parse_dumps_counts_failures_and_recovers_pages() {
+        let rows = sample_rows();
+        let clean = render_page(1, SimTime::from_secs(100), &rows);
+        let mut lines: Vec<&str> = clean.lines().collect();
+        lines.insert(3, "row\tbroken");
+        let damaged = lines.join("\n");
+        let unsalvageable = "not a dump at all".to_string();
+        let texts = vec![clean.clone(), damaged, unsalvageable];
+        let (pages, failures) = parse_dumps(&texts, &TelemetrySink::disabled());
+        assert_eq!(pages.len(), 2, "clean and damaged pages both recovered");
+        assert_eq!(pages[1].rows.len(), 2);
+        assert_eq!(failures.len(), 2, "one bad line + one lost page");
     }
 }

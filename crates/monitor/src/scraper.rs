@@ -6,7 +6,16 @@
 //! dumped it to disk for offline parsing. The scraper is also how the
 //! researchers *detect* hijacks (its login starts failing) and blocks
 //! (the provider refuses the login with a suspension error).
+//!
+//! Real scraping infrastructure fails: the driver times out, the
+//! provider is in maintenance, the whole scraper host goes down for
+//! hours. The scraper therefore retries transient failures with
+//! exponential backoff (in simulated time), refuses to classify an
+//! account as hijacked or blocked until the same hard failure repeats
+//! `confirm_failures` times in consecutive sweeps, and records every
+//! known blind window as a gap for the coverage analysis.
 
+use pwnd_faults::{FaultPlan, RetryPolicy};
 use pwnd_net::access::{ConnectionInfo, CookieId};
 use pwnd_net::geolocate::INFRA_CITY;
 use pwnd_net::ip::AddressPlan;
@@ -28,6 +37,19 @@ pub enum ScrapeOutcome {
     HijackDetected,
     /// The provider suspended the account.
     BlockedDetected,
+    /// A hard login failure was observed but has not yet repeated
+    /// `confirm_failures` times, so no classification is made.
+    FailurePending,
+    /// Every attempt failed transiently (driver flake or provider
+    /// maintenance); the sweep learned nothing about this account.
+    GaveUp,
+}
+
+/// The two hard-failure classes the scraper confirms before declaring.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum HardFailure {
+    Hijack,
+    Blocked,
 }
 
 /// One raw page dump, as written to disk for offline parsing.
@@ -56,6 +78,22 @@ pub struct Scraper {
     last_page: HashMap<AccountId, Vec<(u64, u64)>>,
     hijack_detected: HashMap<AccountId, SimTime>,
     block_detected: HashMap<AccountId, SimTime>,
+    /// Consecutive hard failures of the same class, per account, awaiting
+    /// confirmation. Reset by any successful scrape; transient give-ups
+    /// leave it untouched (they carry no information either way).
+    pending_failures: HashMap<AccountId, (HardFailure, u32)>,
+    /// Consecutive same-class hard failures required before classifying.
+    /// 1 (the default) reproduces the historical trust-the-first-error
+    /// behavior; raising it makes a transient provider error no longer
+    /// able to mislabel an account as hijacked.
+    confirm_failures: u32,
+    /// Open blind windows: account -> when the scraper last stopped
+    /// seeing its page.
+    gap_open: HashMap<AccountId, SimTime>,
+    /// Closed blind windows, in close order.
+    gaps: Vec<(AccountId, SimTime, SimTime)>,
+    fault_plan: FaultPlan,
+    retry: RetryPolicy,
     rng: Rng,
     telemetry: TelemetrySink,
 }
@@ -70,15 +108,39 @@ impl Scraper {
             last_page: HashMap::new(),
             hijack_detected: HashMap::new(),
             block_detected: HashMap::new(),
+            pending_failures: HashMap::new(),
+            confirm_failures: 1,
+            gap_open: HashMap::new(),
+            gaps: Vec::new(),
+            fault_plan: FaultPlan::none(),
+            retry: RetryPolicy::default(),
             rng,
             telemetry: TelemetrySink::disabled(),
         }
     }
 
     /// Attach a telemetry sink (`monitor.scrapes`, `monitor.scrape_dumps`,
-    /// detection counters, and one `scrape` trace per sweep).
+    /// detection counters, retry histograms, and one `scrape` trace per
+    /// sweep).
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Attach the run's fault plan (outage windows, login flakes, and the
+    /// deterministic jitter rolls the backoff uses).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    /// Replace the transient-failure retry policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.retry = retry;
+    }
+
+    /// Require `n` consecutive same-class hard failures before declaring a
+    /// hijack or block (clamped to at least 1).
+    pub fn set_confirm_failures(&mut self, n: u32) {
+        self.confirm_failures = n.max(1);
     }
 
     /// Register an account's researcher-held credentials.
@@ -94,7 +156,9 @@ impl Scraper {
         v
     }
 
-    /// Scrape one account now.
+    /// Scrape one account now, retrying transient failures with backoff.
+    /// Retries advance simulated time, so a scrape that flakes twice dumps
+    /// a page stamped a few minutes after `at`.
     pub fn scrape(
         &mut self,
         service: &mut WebmailService,
@@ -102,6 +166,69 @@ impl Scraper {
         at: SimTime,
     ) -> ScrapeOutcome {
         let (address, password) = self.credentials[&account].clone();
+        self.telemetry.count("monitor.scrapes");
+        let mut t = at;
+        let mut attempt = 0u32;
+        loop {
+            // A scraper-side flake (driver timeout, dropped connection)
+            // means the login never reached the provider.
+            let transient = if self.fault_plan.login_flakes(account.0, t, attempt) {
+                self.telemetry
+                    .count_labeled("faults.injected", "scraper_flake");
+                true
+            } else {
+                match self.try_login(service, account, &address, &password, t) {
+                    Ok(rows) => {
+                        if attempt > 0 {
+                            self.telemetry.observe("scraper.retries", attempt as u64);
+                        }
+                        self.pending_failures.remove(&account);
+                        self.close_gap(account, t);
+                        return ScrapeOutcome::Ok(rows);
+                    }
+                    Err(LoginError::Maintenance) => true,
+                    Err(LoginError::BadCredentials) => {
+                        if attempt > 0 {
+                            self.telemetry.observe("scraper.retries", attempt as u64);
+                        }
+                        return self.note_hard_failure(account, HardFailure::Hijack, t);
+                    }
+                    Err(LoginError::AccountBlocked) | Err(LoginError::SuspiciousLogin) => {
+                        // Infra logins are habitual; SuspiciousLogin only
+                        // happens in the filter-enabled ablation. Treat
+                        // like a block for data purposes: the scraper can
+                        // no longer observe the page.
+                        if attempt > 0 {
+                            self.telemetry.observe("scraper.retries", attempt as u64);
+                        }
+                        return self.note_hard_failure(account, HardFailure::Blocked, t);
+                    }
+                }
+            };
+            debug_assert!(transient);
+            if attempt + 1 >= self.retry.max_attempts {
+                // Out of attempts: the sweep learned nothing. The blind
+                // window stays open until a later sweep sees the page.
+                self.telemetry.observe("scraper.retries", attempt as u64);
+                self.telemetry.count_labeled("monitor.scrapes", "gave_up");
+                self.open_gap(account, at);
+                return ScrapeOutcome::GaveUp;
+            }
+            let roll = self.fault_plan.jitter_roll(account.0, t, attempt);
+            t += self.retry.delay(attempt, roll);
+            attempt += 1;
+        }
+    }
+
+    /// One actual login + page read.
+    fn try_login(
+        &mut self,
+        service: &mut WebmailService,
+        account: AccountId,
+        address: &str,
+        password: &str,
+        at: SimTime,
+    ) -> Result<Vec<ActivityRow>, LoginError> {
         let ip = AddressPlan::sample_infra(&mut self.rng);
         let infra_point = service
             .geolocator()
@@ -117,49 +244,62 @@ impl Scraper {
         if let Some(&cookie) = self.cookies.get(&account) {
             conn = conn.with_cookie(cookie);
         }
-        self.telemetry.count("monitor.scrapes");
-        match service.login(&address, &password, &conn, at) {
-            Ok((session, cookie)) => {
-                self.cookies.insert(account, cookie);
-                let rows = service
-                    .read_activity_page(session)
-                    .expect("fresh session reads its own page");
-                // The scraper's own login mutates the page; fingerprint
-                // only foreign rows so quiet accounts dedupe.
-                let fingerprint: Vec<(u64, u64)> = rows
-                    .iter()
-                    .filter(|r| r.cookie != cookie)
-                    .map(|r| (r.cookie.0, r.at.as_secs()))
-                    .collect();
-                if self.last_page.get(&account) != Some(&fingerprint) {
-                    self.last_page.insert(account, fingerprint);
-                    self.dumps.push(ActivityDump {
-                        account,
-                        at,
-                        rows: rows.clone(),
-                    });
-                    self.telemetry.count("monitor.scrape_dumps");
-                }
-                ScrapeOutcome::Ok(rows)
-            }
-            Err(LoginError::BadCredentials) => {
+        let (session, cookie) = service.login(address, password, &conn, at)?;
+        self.cookies.insert(account, cookie);
+        let rows = service
+            .read_activity_page(session)
+            .expect("fresh session reads its own page");
+        // The scraper's own login mutates the page; fingerprint
+        // only foreign rows so quiet accounts dedupe.
+        let fingerprint: Vec<(u64, u64)> = rows
+            .iter()
+            .filter(|r| r.cookie != cookie)
+            .map(|r| (r.cookie.0, r.at.as_secs()))
+            .collect();
+        if self.last_page.get(&account) != Some(&fingerprint) {
+            self.last_page.insert(account, fingerprint);
+            self.dumps.push(ActivityDump {
+                account,
+                at,
+                rows: rows.clone(),
+            });
+            self.telemetry.count("monitor.scrape_dumps");
+        }
+        Ok(rows)
+    }
+
+    /// Record a hard failure and classify once it has repeated enough.
+    fn note_hard_failure(
+        &mut self,
+        account: AccountId,
+        kind: HardFailure,
+        at: SimTime,
+    ) -> ScrapeOutcome {
+        let entry = self.pending_failures.entry(account).or_insert((kind, 0));
+        if entry.0 == kind {
+            entry.1 += 1;
+        } else {
+            *entry = (kind, 1);
+        }
+        if entry.1 < self.confirm_failures {
+            // Not confirmed yet; the page is unreadable, so the blind
+            // window opens here.
+            self.open_gap(account, at);
+            return ScrapeOutcome::FailurePending;
+        }
+        self.pending_failures.remove(&account);
+        // Monitoring of this account ends now; close its blind window at
+        // the moment of classification.
+        self.close_gap(account, at);
+        match kind {
+            HardFailure::Hijack => {
                 if !self.hijack_detected.contains_key(&account) {
                     self.telemetry.count("monitor.hijack_detections");
                 }
                 self.hijack_detected.entry(account).or_insert(at);
                 ScrapeOutcome::HijackDetected
             }
-            Err(LoginError::AccountBlocked) => {
-                if !self.block_detected.contains_key(&account) {
-                    self.telemetry.count("monitor.block_detections");
-                }
-                self.block_detected.entry(account).or_insert(at);
-                ScrapeOutcome::BlockedDetected
-            }
-            Err(LoginError::SuspiciousLogin) => {
-                // Infra logins are habitual; this only happens in the
-                // filter-enabled ablation. Treat like a block for data
-                // purposes: the scraper can no longer observe the page.
+            HardFailure::Blocked => {
                 if !self.block_detected.contains_key(&account) {
                     self.telemetry.count("monitor.block_detections");
                 }
@@ -169,8 +309,41 @@ impl Scraper {
         }
     }
 
-    /// Scrape every registered account.
+    fn open_gap(&mut self, account: AccountId, at: SimTime) {
+        self.gap_open.entry(account).or_insert(at);
+    }
+
+    fn close_gap(&mut self, account: AccountId, at: SimTime) {
+        if let Some(start) = self.gap_open.remove(&account) {
+            if at > start {
+                self.telemetry
+                    .trace_with(start.as_secs(), "gap", Some(account.0), || {
+                        format!("scraper blind until t={}", at.as_secs())
+                    });
+                self.gaps.push((account, start, at));
+            }
+        }
+    }
+
+    /// Scrape every registered account. During a scraper outage the whole
+    /// sweep is skipped and every still-monitored account's blind window
+    /// opens (if not already open).
     pub fn scrape_all(&mut self, service: &mut WebmailService, at: SimTime) {
+        if self.fault_plan.scraper_outage_at(at) {
+            self.telemetry
+                .count_labeled("faults.injected", "scraper_outage");
+            for account in self.accounts() {
+                if self.hijack_detected.contains_key(&account)
+                    || self.block_detected.contains_key(&account)
+                {
+                    continue;
+                }
+                self.open_gap(account, at);
+            }
+            self.telemetry
+                .trace_with(at.as_secs(), "scrape", None, || "skipped: outage".into());
+            return;
+        }
         let mut attempted = 0u64;
         for account in self.accounts() {
             // Once hijacked or blocked there is nothing more to scrape.
@@ -187,6 +360,16 @@ impl Scraper {
         self.telemetry.trace_with(at.as_secs(), "scrape", None, || {
             format!("accounts={attempted}")
         });
+    }
+
+    /// Close every still-open blind window at the end of the run, so the
+    /// coverage analysis sees gaps that never recovered.
+    pub fn finish(&mut self, at: SimTime) {
+        let mut open: Vec<AccountId> = self.gap_open.keys().copied().collect();
+        open.sort_unstable();
+        for account in open {
+            self.close_gap(account, at);
+        }
     }
 
     /// All raw dumps (what "offline parsing" consumes).
@@ -213,6 +396,13 @@ impl Scraper {
         &self.block_detected
     }
 
+    /// Closed blind windows `(account, from, until)`, in close order.
+    /// Call [`Scraper::finish`] first to flush windows still open at the
+    /// horizon.
+    pub fn gaps(&self) -> &[(AccountId, SimTime, SimTime)] {
+        &self.gaps
+    }
+
     /// The scraper's own cookies (the dataset filter needs them).
     pub fn own_cookies(&self) -> Vec<CookieId> {
         let mut v: Vec<CookieId> = self.cookies.values().copied().collect();
@@ -225,6 +415,7 @@ impl Scraper {
 mod tests {
     use super::*;
     use pwnd_corpus::email::{Email, EmailId, MailTime};
+    use pwnd_faults::FaultProfile;
     use pwnd_net::geo::GeoDb;
     use pwnd_net::geolocate::Geolocator;
     use pwnd_net::tor::TorDirectory;
@@ -260,6 +451,24 @@ mod tests {
         let mut scraper = Scraper::new(rng.fork(9));
         scraper.register(id, "h@honeymail.example", "pw");
         (svc, scraper, id)
+    }
+
+    fn hijack(svc: &mut WebmailService, at: u64) {
+        let ip = svc
+            .geolocator()
+            .plan()
+            .sample_host("RO", &mut Rng::seed_from(2));
+        let loc = svc.geolocator().locate(ip);
+        let conn = ConnectionInfo::new(
+            ip,
+            ClientConfig::plain(Browser::Opera, Os::Windows),
+            loc.point,
+        );
+        let (session, _) = svc
+            .login("h@honeymail.example", "pw", &conn, SimTime::from_secs(at))
+            .unwrap();
+        svc.change_password(session, "stolen", SimTime::from_secs(at + 10))
+            .unwrap();
     }
 
     #[test]
@@ -299,22 +508,7 @@ mod tests {
     #[test]
     fn hijack_is_detected_and_scraping_stops() {
         let (mut svc, mut scraper, id) = world();
-        // Attacker hijacks.
-        let ip = svc
-            .geolocator()
-            .plan()
-            .sample_host("RO", &mut Rng::seed_from(2));
-        let loc = svc.geolocator().locate(ip);
-        let conn = ConnectionInfo::new(
-            ip,
-            ClientConfig::plain(Browser::Opera, Os::Windows),
-            loc.point,
-        );
-        let (session, _) = svc
-            .login("h@honeymail.example", "pw", &conn, SimTime::from_secs(50))
-            .unwrap();
-        svc.change_password(session, "stolen", SimTime::from_secs(60))
-            .unwrap();
+        hijack(&mut svc, 50);
 
         match scraper.scrape(&mut svc, id, SimTime::from_secs(100)) {
             ScrapeOutcome::HijackDetected => {}
@@ -339,6 +533,119 @@ mod tests {
             other => panic!("expected blocked, got {other:?}"),
         }
         assert!(scraper.blocks_detected().contains_key(&id));
+    }
+
+    #[test]
+    fn confirmation_defers_classification() {
+        let (mut svc, mut scraper, id) = world();
+        scraper.set_confirm_failures(3);
+        hijack(&mut svc, 50);
+
+        // Two failures: still pending, nothing declared.
+        for t in [100u64, 200] {
+            match scraper.scrape(&mut svc, id, SimTime::from_secs(t)) {
+                ScrapeOutcome::FailurePending => {}
+                other => panic!("expected pending, got {other:?}"),
+            }
+        }
+        assert!(scraper.hijacks_detected().is_empty());
+        // Third consecutive failure confirms, stamped at the confirming
+        // sweep.
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(300)) {
+            ScrapeOutcome::HijackDetected => {}
+            other => panic!("expected hijack, got {other:?}"),
+        }
+        assert_eq!(
+            scraper.hijacks_detected().get(&id),
+            Some(&SimTime::from_secs(300))
+        );
+        // The unreadable stretch is recorded as a blind window.
+        assert_eq!(
+            scraper.gaps(),
+            &[(id, SimTime::from_secs(100), SimTime::from_secs(300))]
+        );
+    }
+
+    #[test]
+    fn successful_scrape_resets_confirmation_count() {
+        let (mut svc, mut scraper, id) = world();
+        scraper.set_confirm_failures(2);
+        // A healthy scrape first.
+        scraper.scrape(&mut svc, id, SimTime::from_secs(10));
+        hijack(&mut svc, 50);
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(100)) {
+            ScrapeOutcome::FailurePending => {}
+            other => panic!("expected pending, got {other:?}"),
+        }
+        // The researchers recover the credentials out of band: the next
+        // scrape succeeds and wipes the pending count.
+        scraper.register(id, "h@honeymail.example", "stolen");
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(200)) {
+            ScrapeOutcome::Ok(_) => {}
+            other => panic!("expected ok, got {other:?}"),
+        }
+        // The password changes again behind their back; the count starts
+        // over from one instead of classifying immediately.
+        scraper.register(id, "h@honeymail.example", "wrong");
+        match scraper.scrape(&mut svc, id, SimTime::from_secs(300)) {
+            ScrapeOutcome::FailurePending => {}
+            other => panic!("expected pending again, got {other:?}"),
+        }
+        assert!(scraper.hijacks_detected().is_empty());
+    }
+
+    #[test]
+    fn flaky_logins_are_retried_and_succeed() {
+        let (mut svc, mut scraper, id) = world();
+        // Flake rate high enough that retries fire, attempts generous
+        // enough that a scrape eventually lands.
+        scraper.set_fault_plan(FaultPlan::compile(
+            11,
+            &FaultProfile {
+                scraper_flake_rate: 0.5,
+                ..FaultProfile::none()
+            },
+            SimDuration::days(30),
+        ));
+        scraper.set_retry_policy(RetryPolicy {
+            max_attempts: 12,
+            ..RetryPolicy::default()
+        });
+        let mut oks = 0;
+        for day in 0..20u64 {
+            if matches!(
+                scraper.scrape(&mut svc, id, SimTime::from_secs(day * 86_400)),
+                ScrapeOutcome::Ok(_)
+            ) {
+                oks += 1;
+            }
+        }
+        assert!(oks >= 15, "most scrapes should survive retries, got {oks}");
+        assert!(scraper.hijacks_detected().is_empty());
+    }
+
+    #[test]
+    fn outage_skips_sweep_and_records_gap() {
+        let (mut svc, mut scraper, id) = world();
+        // Compile plans until one has an outage window (deterministic
+        // search over seeds, not a random test).
+        let profile = FaultProfile {
+            scraper_outages_per_30d: 2.0,
+            scraper_outage_hours: 12.0,
+            ..FaultProfile::none()
+        };
+        let plan = (0..64)
+            .map(|s| FaultPlan::compile(s, &profile, SimDuration::days(30)))
+            .find(|p| !p.scraper_outages().is_empty())
+            .expect("some seed yields an outage");
+        let window = plan.scraper_outages()[0];
+        scraper.set_fault_plan(plan);
+        scraper.scrape_all(&mut svc, window.start);
+        assert!(scraper.dumps().is_empty(), "outage sweep must not scrape");
+        // Next sweep after the outage closes the blind window.
+        let after = window.end + SimDuration::hours(1);
+        scraper.scrape_all(&mut svc, after);
+        assert_eq!(scraper.gaps(), &[(id, window.start, after)]);
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use crate::collector::{Notification, NotificationCollector, NotificationKind};
 use pwnd_corpus::email::{Email, EmailId, MailTime};
+use pwnd_faults::FaultPlan;
 use pwnd_sim::{SimDuration, SimTime};
 use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
@@ -98,6 +99,10 @@ pub struct ScriptRuntime {
     scripts: HashMap<AccountId, ScriptState>,
     next_quota_email_id: u64,
     quota_notices_sent: u64,
+    /// Delivery sequence stamped on every emitted notification, so the
+    /// collector can deduplicate at-least-once redeliveries.
+    next_seq: u64,
+    fault_plan: FaultPlan,
     telemetry: TelemetrySink,
 }
 
@@ -109,6 +114,8 @@ impl ScriptRuntime {
             scripts: HashMap::new(),
             next_quota_email_id: 20_000_000,
             quota_notices_sent: 0,
+            next_seq: 0,
+            fault_plan: FaultPlan::none(),
             telemetry: TelemetrySink::disabled(),
         }
     }
@@ -117,6 +124,17 @@ impl ScriptRuntime {
     /// `monitor.quota_notices`, and one `heartbeat` trace per tick).
     pub fn set_telemetry(&mut self, sink: TelemetrySink) {
         self.telemetry = sink;
+    }
+
+    /// Attach the run's fault plan (daily trigger misfires).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault_plan = plan;
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        s
     }
 
     /// Install the monitoring script on an account.
@@ -311,9 +329,11 @@ impl ScriptRuntime {
             let Some((kind, at, cookie)) = kind else {
                 continue;
             };
+            let seq = self.next_seq();
             collector.receive(Notification {
                 account,
                 at,
+                seq,
                 cookie,
                 kind,
             });
@@ -346,10 +366,20 @@ impl ScriptRuntime {
             if !service.account(account).state.is_active() {
                 continue;
             }
+            // A misfired time-driven trigger simply never runs that day:
+            // no heartbeat, no quota charge, nothing to retry (the
+            // platform offers no redelivery for time triggers).
+            if self.fault_plan.trigger_misfires(account.0, at.day_index()) {
+                self.telemetry
+                    .count_labeled("faults.injected", "trigger_misfire");
+                continue;
+            }
             beating += 1;
+            let seq = self.next_seq();
             collector.receive(Notification {
                 account,
                 at,
+                seq,
                 cookie: None,
                 kind: NotificationKind::Heartbeat,
             });

@@ -53,6 +53,10 @@ pub enum LoginError {
     /// Rejected by the location-based login filter (only when the filter
     /// is enabled; never for the paper-configured honey accounts).
     SuspiciousLogin,
+    /// The provider is in a maintenance window: nobody — attacker or
+    /// monitoring scraper — can log in until it ends. Transient; callers
+    /// with a retry budget should back off and try again.
+    Maintenance,
 }
 
 /// Why a mailbox operation failed.
@@ -123,6 +127,7 @@ pub struct WebmailService {
     sinkhole: Sinkhole,
     events: Vec<WebmailEvent>,
     signup_counts: HashMap<Ipv4Addr, u32>,
+    maintenance: Vec<(SimTime, SimTime)>,
     next_session: u64,
     next_cookie: u64,
     next_email_id: u64,
@@ -151,6 +156,7 @@ impl WebmailService {
             sinkhole: Sinkhole::new(),
             events: Vec::new(),
             signup_counts: HashMap::new(),
+            maintenance: Vec::new(),
             next_session: 1,
             next_cookie: 1,
             // High base so attacker-composed mail never collides with
@@ -167,6 +173,14 @@ impl WebmailService {
         self.risk.set_telemetry(sink.clone());
         self.abuse.set_telemetry(sink.clone());
         self.telemetry = sink;
+    }
+
+    /// Schedule provider maintenance windows (`[start, end)` spans).
+    /// Logins inside a window fail with [`LoginError::Maintenance`]. The
+    /// fault layer injects these; an empty list (the default) restores
+    /// the always-up provider.
+    pub fn set_maintenance(&mut self, windows: Vec<(SimTime, SimTime)>) {
+        self.maintenance = windows;
     }
 
     // ------------------------------------------------------------------
@@ -281,6 +295,16 @@ impl WebmailService {
         conn: &ConnectionInfo,
         at: SimTime,
     ) -> Result<(SessionId, CookieId), LoginError> {
+        // Maintenance is checked before credentials: a provider that is
+        // down reveals nothing about the account, records nothing on the
+        // activity page, and emits no events.
+        if self.maintenance.iter().any(|&(s, e)| s <= at && at < e) {
+            self.telemetry
+                .count_labeled("webmail.logins", "maintenance");
+            self.telemetry
+                .count_labeled("faults.injected", "maintenance");
+            return Err(LoginError::Maintenance);
+        }
         let Some(&id) = self.by_address.get(address) else {
             self.telemetry
                 .count_labeled("webmail.logins", "bad_credentials");

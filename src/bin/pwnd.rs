@@ -1,17 +1,18 @@
 //! `pwnd` — command-line front end for the honey-account testbed.
 //!
 //! ```text
-//! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys] [--profile]
+//! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys] [--profile] [--faults NAME]
 //! pwnd trace   [--seed N] [--quick] [--trace-out FILE]
 //! pwnd export  [--seed N] [--out FILE]
 //! pwnd sweep   [--seeds N] [--seed BASE]
+//! pwnd chaos   [--seed N] [--quick] [--faults NAME]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
 //! ```
 
 use pwnd::analysis::tables::overview;
 use pwnd::telemetry::{Table, TelemetrySink};
-use pwnd::{Experiment, ExperimentConfig};
+use pwnd::{Experiment, ExperimentConfig, FaultProfile};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -22,6 +23,7 @@ commands:
   trace    run with telemetry and emit the JSONL event trace
   export   write the censored dataset as JSON
   sweep    headline stats across consecutive seeds
+  chaos    data-loss ablation: sweep fault-rate factors over one seed
   leaks    the leak plan actually executed
   truth    ground-truth vs observed audit
 
@@ -30,6 +32,8 @@ flags:
   --quick          30-day quick configuration instead of the full paper run
   --filter-on      enable the provider's suspicious-login filter
   --decoys         seed decoy documents into every mailbox
+  --faults NAME    fault profile: none | light | heavy (default none);
+                   for chaos, the profile whose rates are scaled (default heavy)
   --profile        (run) print phase timings and the metrics summary
   --out FILE       (export) output path (default dataset.json)
   --trace-out FILE (trace) write the JSONL trace here instead of stdout
@@ -45,6 +49,7 @@ struct Args {
     out: String,
     trace_out: Option<String>,
     seeds: u64,
+    faults: Option<FaultProfile>,
 }
 
 enum Cli {
@@ -70,6 +75,7 @@ fn parse(mut argv: std::env::Args) -> Cli {
         out: "dataset.json".to_string(),
         trace_out: None,
         seeds: 8,
+        faults: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -95,6 +101,17 @@ fn parse(mut argv: std::env::Args) -> Cli {
                     return Cli::Invalid;
                 };
                 args.trace_out = Some(v.clone());
+                i += 2;
+            }
+            "--faults" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                let Some(p) = FaultProfile::by_name(v) else {
+                    eprintln!("unknown fault profile: {v} (expected none, light, or heavy)");
+                    return Cli::Invalid;
+                };
+                args.faults = Some(p);
                 i += 2;
             }
             "--seeds" => {
@@ -137,6 +154,12 @@ fn config_of(a: &Args) -> ExperimentConfig {
     };
     cfg.login_filter_enabled = a.filter_on;
     cfg.seed_decoys = a.decoys;
+    if let Some(p) = &a.faults {
+        cfg.faults.profile = p.clone();
+        // A faulted run gets the resilient defaults: confirmed
+        // classification so flakes cannot mislabel an account.
+        cfg.faults.confirm_failures = 3;
+    }
     cfg
 }
 
@@ -226,6 +249,48 @@ fn main() -> ExitCode {
             println!(
                 "paper: 326 accesses, 147 opened, 845 sent, 42 blocked, 36 hijacked, 90 accounts"
             );
+        }
+        "chaos" => {
+            // Ablation: scale one fault profile's rates and chart how much
+            // of the observation the pipeline loses. Deterministic for a
+            // fixed seed — CI runs it twice and diffs the output.
+            let base = args.faults.clone().unwrap_or_else(FaultProfile::heavy);
+            let mut table = Table::new(&[
+                "factor", "accesses", "lost", "dups", "gaps", "mean cov", "min cov",
+            ])
+            .numeric();
+            for factor in [0.0, 0.25, 0.5, 1.0] {
+                let mut cfg = config_of(&args);
+                cfg.faults.profile = base.scaled(factor);
+                cfg.faults.confirm_failures = 3;
+                let out = Experiment::new(cfg).run();
+                let gt = &out.ground_truth;
+                let covs: Vec<f64> = out
+                    .dataset
+                    .accounts
+                    .iter()
+                    .filter_map(|a| a.coverage)
+                    .collect();
+                let (mean, min) = if covs.is_empty() {
+                    (1.0, 1.0)
+                } else {
+                    (
+                        covs.iter().sum::<f64>() / covs.len() as f64,
+                        covs.iter().copied().fold(f64::INFINITY, f64::min),
+                    )
+                };
+                table.row([
+                    format!("{factor:.2}"),
+                    out.dataset.accesses.len().to_string(),
+                    gt.notifications_lost.to_string(),
+                    gt.duplicate_notifications.to_string(),
+                    gt.monitoring_gaps.to_string(),
+                    format!("{mean:.4}"),
+                    format!("{min:.4}"),
+                ]);
+            }
+            print!("{}", table.render());
+            println!("factor 0.00 injects nothing; rates scale linearly up to the profile's own.");
         }
         "leaks" => {
             let out = Experiment::new(config_of(&args)).run();

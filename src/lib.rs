@@ -23,6 +23,7 @@
 //! | [`attacker`] | `pwnd-attacker` | the calibrated criminal population |
 //! | [`analysis`] | `pwnd-analysis` | §4 figures, tables, CvM, TF-IDF |
 //! | [`telemetry`] | `pwnd-telemetry` | metrics, run tracing, phase profiling |
+//! | [`faults`] | `pwnd-faults` | deterministic fault injection + retry policy |
 //! | [`core`] | `pwnd-core` | experiment orchestration |
 //!
 //! ## Quickstart
@@ -38,6 +39,7 @@ pub use pwnd_analysis as analysis;
 pub use pwnd_attacker as attacker;
 pub use pwnd_core as core;
 pub use pwnd_corpus as corpus;
+pub use pwnd_faults as faults;
 pub use pwnd_leak as leak;
 pub use pwnd_monitor as monitor;
 pub use pwnd_net as net;
@@ -46,3 +48,4 @@ pub use pwnd_telemetry as telemetry;
 pub use pwnd_webmail as webmail;
 
 pub use pwnd_core::{Experiment, ExperimentConfig, GroundTruth, RunOutput};
+pub use pwnd_faults::{FaultProfile, RetryPolicy};

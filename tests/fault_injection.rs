@@ -1,0 +1,75 @@
+//! Cross-crate tests of the fault-injection layer: faults-off runs stay
+//! byte-identical, faulted runs are reproducible, and the degraded
+//! coverage they cause is surfaced all the way up in the analysis
+//! report.
+
+use pwnd::{Experiment, ExperimentConfig, FaultProfile};
+
+/// The acceptance bar for the fault layer: with `FaultProfile::none()`
+/// (the default), the published dataset must be byte-for-byte what it
+/// was before the layer existed. Two independent runs of the default
+/// config prove the plumbing (plan compilation, seq stamping, gap
+/// bookkeeping) adds nothing observable.
+#[test]
+fn default_config_export_is_stable_and_gap_free() {
+    let a = Experiment::new(ExperimentConfig::quick(7)).run();
+    let b = Experiment::new(ExperimentConfig::quick(7)).run();
+    let json = a.dataset_json();
+    assert_eq!(json, b.dataset_json());
+    // The legacy JSON shape: no coverage, no gap records.
+    assert!(!json.contains("\"coverage\""));
+    assert!(!json.contains("\"gaps\""));
+    assert_eq!(a.ground_truth.notifications_lost, 0);
+    assert_eq!(a.ground_truth.duplicate_notifications, 0);
+    assert_eq!(a.ground_truth.monitoring_gaps, 0);
+}
+
+#[test]
+fn heavy_faults_are_reproducible_and_degrade_coverage() {
+    let mut cfg = ExperimentConfig::quick(7);
+    cfg.faults.profile = FaultProfile::heavy();
+    cfg.faults.confirm_failures = 3;
+
+    let a = Experiment::new(cfg.clone()).run();
+    let b = Experiment::new(cfg).run();
+    // Same seed + same profile → identical artifact, faults included.
+    assert_eq!(a.dataset_json(), b.dataset_json());
+
+    // The fault layer actually bit: notifications were lost, some were
+    // redelivered and deduplicated, and blind windows were recorded.
+    assert!(a.ground_truth.notifications_lost > 0);
+    assert!(a.ground_truth.duplicate_notifications > 0);
+    assert!(a.ground_truth.monitoring_gaps > 0);
+    assert_eq!(a.dataset.gaps.len(), a.ground_truth.monitoring_gaps);
+
+    // Every account carries a coverage figure in [0, 1], and the gaps
+    // pushed at least one below full coverage.
+    let covs: Vec<f64> = a
+        .dataset
+        .accounts
+        .iter()
+        .map(|r| r.coverage.expect("faulted run reports coverage"))
+        .collect();
+    assert!(covs.iter().all(|c| (0.0..=1.0).contains(c)));
+    assert!(covs.iter().any(|c| *c < 1.0));
+
+    // The degradation reaches the rendered report.
+    let analysis = a.analysis();
+    let stats = analysis
+        .coverage
+        .as_ref()
+        .expect("analysis surfaces coverage for faulted runs");
+    assert!(stats.mean < 1.0);
+    assert!(stats.degraded_accounts > 0);
+    let text = analysis.render();
+    assert!(text.contains("Monitoring coverage"));
+}
+
+/// Fault-free analysis keeps its legacy shape: no coverage section.
+#[test]
+fn fault_free_report_has_no_coverage_section() {
+    let out = Experiment::new(ExperimentConfig::quick(7)).run();
+    let analysis = out.analysis();
+    assert!(analysis.coverage.is_none());
+    assert!(!analysis.render().contains("Monitoring coverage"));
+}
