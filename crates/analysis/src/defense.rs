@@ -19,7 +19,7 @@
 //!   band.
 
 use crate::stats::Ecdf;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Scores search queries against the owner's vocabulary profile.
 ///
@@ -29,7 +29,7 @@ use std::collections::HashMap;
 /// for terms the owner rarely (or never) uses scores near 1.
 #[derive(Clone, Debug, Default)]
 pub struct SearchAnomalyDetector {
-    counts: HashMap<String, u64>,
+    counts: BTreeMap<String, u64>,
 }
 
 impl SearchAnomalyDetector {

@@ -19,7 +19,7 @@
 //! documents, exactly matching the paper's table semantics.
 
 use pwnd_corpus::tokenize::Tokenizer;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One row of the Table 2 data.
 #[derive(Clone, Debug, PartialEq)]
@@ -45,8 +45,8 @@ pub struct TfidfTable {
     scores: Vec<TermScore>,
 }
 
-fn counts(tokens: &[String]) -> HashMap<&str, f64> {
-    let mut m: HashMap<&str, f64> = HashMap::new();
+fn counts(tokens: &[String]) -> BTreeMap<&str, f64> {
+    let mut m: BTreeMap<&str, f64> = BTreeMap::new();
     for t in tokens {
         *m.entry(t.as_str()).or_insert(0.0) += 1.0;
     }

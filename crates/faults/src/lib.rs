@@ -1,4 +1,7 @@
 #![warn(missing_docs)]
+// The monitor/fault paths must degrade gracefully, never panic;
+// test code may unwrap freely.
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 //! # pwnd-faults — deterministic fault injection
 //!

@@ -1,0 +1,160 @@
+//! `pwnd-lint`: workspace determinism and invariant linter.
+//!
+//! The simulation's core contract is that a run is a pure function of
+//! `(seed, config)`. That property is easy to break silently: one
+//! `Instant::now()` in a scoring path, one `HashMap` iteration feeding a
+//! report, one `thread_rng()` in a constructor, and runs stop being
+//! reproducible without any test failing. This crate is a small,
+//! dependency-free static-analysis pass that walks every source file in
+//! the workspace and enforces the named invariants from DESIGN.md:
+//!
+//! - [`rules::WALL_CLOCK`] — no host-time reads in deterministic crates.
+//! - [`rules::HASH_ORDER`] — no unordered-container iteration on paths
+//!   that reach serialization, display, or telemetry export.
+//! - [`rules::AMBIENT_RNG`] — all randomness flows from the seeded
+//!   streams in `pwnd-sim`.
+//! - [`rules::ENV_IO`] — pure crates touch no environment, filesystem,
+//!   process, or socket APIs.
+//! - [`rules::PANIC_HAZARD`] — the resilient monitor parse/retry paths
+//!   stay panic-free.
+//!
+//! False positives are suppressed *in the source*, with a reason:
+//!
+//! ```text
+//! let v = per[&key]; // lint:allow(panic-hazard): key inserted 3 lines up
+//! ```
+//!
+//! Suppressions are themselves linted: an unknown rule id or a missing
+//! reason is a `bad-allow` finding, and a directive that suppresses
+//! nothing is `unused-allow`, so stale allows cannot accumulate.
+//!
+//! There is no `syn` here (the build environment is offline), so the
+//! pass runs on a hand-rolled token stream ([`lexer`]) with file-local
+//! heuristics ([`source`], [`engine`]). The design bias is to
+//! over-approximate: a rare false positive costs one explicit, reasoned
+//! `lint:allow`; a false negative costs a nondeterministic run that may
+//! go unnoticed for months.
+
+pub mod engine;
+pub mod findings;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use engine::lint_files;
+pub use findings::{Finding, LintReport};
+pub use rules::{RuleMeta, ALL_RULES};
+
+use std::collections::BTreeSet;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["vendor", "target", ".git", "node_modules"];
+
+/// Subtrees excluded from the workspace scan: the linter's own fixture
+/// corpus is *made of* seeded violations.
+const SKIP_PREFIXES: &[&str] = &["crates/lint/tests"];
+
+/// Walk upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Collect every `.rs` file under `root` as `(workspace-relative path,
+/// contents)`, in sorted path order so the report is stable across
+/// hosts and filesystems. Vendored crates, build output, and the lint
+/// fixture corpus are excluded.
+pub fn scan_root(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            let name = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .unwrap_or_default();
+            let rel = rel_path(root, &path);
+            if path.is_dir() {
+                if SKIP_DIRS.contains(&name) || name.starts_with('.') {
+                    continue;
+                }
+                if SKIP_PREFIXES
+                    .iter()
+                    .any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+                {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                let text = std::fs::read_to_string(&path)?;
+                files.push((rel, text));
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scan and lint the whole workspace rooted at `root`, optionally
+/// restricted to the rule ids in `only`.
+pub fn lint_workspace(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<LintReport> {
+    let files = scan_root(root)?;
+    Ok(engine::lint_files(&files, only))
+}
+
+/// `root`-relative path with forward slashes (the form rule scoping and
+/// reports use on every platform).
+fn rel_path(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_the_workspace_root_from_this_crate() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn scan_skips_vendor_and_fixtures() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root");
+        let files = scan_root(&root).expect("scan");
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|(p, _)| !p.starts_with("vendor/")));
+        assert!(files.iter().all(|(p, _)| !p.starts_with("target/")));
+        assert!(files
+            .iter()
+            .all(|(p, _)| !p.starts_with("crates/lint/tests")));
+        assert!(files.iter().any(|(p, _)| p == "crates/sim/src/rng.rs"));
+        // Sorted, so reports are byte-stable across hosts.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

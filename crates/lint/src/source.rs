@@ -1,0 +1,645 @@
+//! Per-file analysis context built on top of the token stream: crate
+//! attribution, `#[cfg(test)]` region tracking, function spans with
+//! visibility and sink-reachability, hash-container name inference, and
+//! `lint:allow` directive parsing.
+
+use crate::lexer::{self, has_segment, Comment, Lexed, Token, TokenKind};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A parsed `// lint:allow(rule-id): reason` directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AllowDirective {
+    /// Line the directive's comment starts on.
+    pub line: u32,
+    /// Line the directive applies to: its own line if the comment trails
+    /// code, otherwise the next line.
+    pub applies_to: u32,
+    /// The rule being suppressed.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+}
+
+/// A malformed `lint:allow` (reported by the `bad-allow` meta rule).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BadAllow {
+    /// Line of the broken directive.
+    pub line: u32,
+    /// What is wrong with it.
+    pub why: String,
+}
+
+/// One `fn` item found in the file.
+#[derive(Clone, Debug)]
+pub struct FnInfo {
+    /// Function name.
+    pub name: String,
+    /// Whether it is `pub` (any visibility qualifier counts).
+    pub is_pub: bool,
+    /// Whether it is test code (`#[test]` fn or inside `#[cfg(test)]`).
+    pub is_test: bool,
+    /// Token index range of the body, inclusive of both braces.
+    pub body: (usize, usize),
+    /// Whether the body directly contains a serialization/display/export
+    /// marker (before call-closure propagation).
+    pub direct_sink: bool,
+    /// Whether this function reaches a sink, after propagating through
+    /// same-file calls. Filled by [`SourceFile::new`].
+    pub reaches_sink: bool,
+    /// Whether the return type mentions `HashMap`/`HashSet`.
+    pub returns_hash: bool,
+    /// Names of same-file functions this body calls.
+    pub calls: BTreeSet<String>,
+}
+
+/// One analyzed source file.
+#[derive(Clone, Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Owning crate short name (`monitor`), `"bin"` for `src/`, or
+    /// `"tests"` / `"examples"` for the root test and example trees.
+    pub krate: String,
+    /// The token stream.
+    pub tokens: Vec<Token>,
+    /// All comments.
+    pub comments: Vec<Comment>,
+    /// Per-token flag: inside test code.
+    pub in_test: Vec<bool>,
+    /// Functions in the file.
+    pub fns: Vec<FnInfo>,
+    /// Identifiers known (or inferred) to hold `HashMap`/`HashSet`.
+    pub hash_names: BTreeSet<String>,
+    /// The subset of [`Self::hash_names`] whose only evidence is a
+    /// `let` binding. A local cannot be reached through a projection, so
+    /// `self.accounts.iter()` is not tainted by a `let accounts:
+    /// HashSet` elsewhere in the file.
+    pub hash_locals: BTreeSet<String>,
+    /// Valid suppression directives.
+    pub allows: Vec<AllowDirective>,
+    /// Malformed suppression directives.
+    pub bad_allows: Vec<BadAllow>,
+}
+
+/// Derive the short crate name from a workspace-relative path.
+pub fn crate_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        rest.split('/').next().unwrap_or("unknown").to_string()
+    } else if path.starts_with("tests/") {
+        "tests".to_string()
+    } else if path.starts_with("examples/") {
+        "examples".to_string()
+    } else if path.starts_with("src/") {
+        "bin".to_string()
+    } else {
+        "unknown".to_string()
+    }
+}
+
+/// Sink markers: an identifier (last path segment) that means "this
+/// function renders, serializes, or exports data whose order an observer
+/// can see". Deliberately over-approximate — marking too much only makes
+/// the hash-order rule stricter.
+const SINK_IDENTS: &[&str] = &[
+    "format",
+    "write",
+    "writeln",
+    "print",
+    "println",
+    "eprint",
+    "eprintln",
+    "push_str",
+    "to_json",
+    "to_json_value",
+    "pretty",
+    "render",
+    "trace_with",
+    "trace_jsonl",
+    "serialize",
+    "fmt",
+];
+
+/// Function-name fragments that make a function a sink by declaration.
+const SINK_FN_NAME_FRAGMENTS: &[&str] = &["json", "render", "export", "report", "fmt", "table"];
+
+impl SourceFile {
+    /// Analyze one file.
+    pub fn new(path: &str, src: &str) -> SourceFile {
+        let Lexed { tokens, comments } = lexer::lex(src);
+        let in_test = mark_test_regions(&tokens, path);
+        let mut fns = find_fns(&tokens, &in_test);
+        let (hash_names, hash_locals) = collect_hash_names(&tokens, &fns);
+        propagate_sinks(&mut fns);
+        let (allows, bad_allows) = parse_allows(&comments, &tokens);
+        SourceFile {
+            path: path.to_string(),
+            krate: crate_of(path),
+            tokens,
+            comments,
+            in_test,
+            fns,
+            hash_names,
+            hash_locals,
+            allows,
+            bad_allows,
+        }
+    }
+
+    /// Whether the token at `idx` is inside test code.
+    pub fn is_test_token(&self, idx: usize) -> bool {
+        self.in_test.get(idx).copied().unwrap_or(false)
+    }
+
+    /// Whether `name` is a hash-typed iteration base at a given site.
+    /// `projected` means the base is reached through `.` (e.g.
+    /// `self.name`), which a `let`-bound local can never be.
+    pub fn is_hash_base(&self, name: &str, projected: bool) -> bool {
+        self.hash_names.contains(name) && !(projected && self.hash_locals.contains(name))
+    }
+}
+
+/// Mark which tokens are test code: whole-file for `tests/`, `examples/`
+/// and bench crates, `#[cfg(test)] mod …` regions, `#[test]`-attributed
+/// functions, and `proptest! { … }` macro blocks.
+fn mark_test_regions(tokens: &[Token], path: &str) -> Vec<bool> {
+    let mut flags = vec![false; tokens.len()];
+    if path.starts_with("tests/")
+        || path.starts_with("examples/")
+        || path.starts_with("crates/bench/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+    {
+        flags.iter_mut().for_each(|f| *f = true);
+        return flags;
+    }
+    let mut i = 0usize;
+    while i < tokens.len() {
+        // An attribute `#[…]`; remember whether it mentions `test`.
+        if tokens[i].is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let (attr_end, mentions_test) = scan_attr(tokens, i + 1);
+            if mentions_test {
+                // Skip any further attributes, then mark the next item.
+                let mut j = attr_end;
+                while j < tokens.len()
+                    && tokens[j].is_punct('#')
+                    && tokens.get(j + 1).is_some_and(|t| t.is_punct('['))
+                {
+                    j = scan_attr(tokens, j + 1).0;
+                }
+                if let Some(body_end) = item_end(tokens, j) {
+                    for f in flags.iter_mut().take(body_end + 1).skip(i) {
+                        *f = true;
+                    }
+                    i = body_end + 1;
+                    continue;
+                }
+            }
+            i = attr_end;
+            continue;
+        }
+        // `proptest! { … }` blocks are test code.
+        if tokens[i].ident() == Some("proptest")
+            && tokens.get(i + 1).is_some_and(|t| t.is_punct('!'))
+        {
+            if let Some(open) = (i..tokens.len()).find(|&k| tokens[k].is_punct('{')) {
+                if let Some(close) = matching_brace(tokens, open) {
+                    for f in flags.iter_mut().take(close + 1).skip(i) {
+                        *f = true;
+                    }
+                    i = close + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    flags
+}
+
+/// Scan an attribute starting at its `[`; return (index past `]`,
+/// whether it marks test-only code). `#[cfg(not(test))]` guards *live*
+/// code, so a `not` anywhere in the attribute disqualifies it.
+fn scan_attr(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0i32;
+    let mut has_test = false;
+    let mut has_not = false;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokenKind::Punct('[') => depth += 1,
+            TokenKind::Punct(']') => {
+                depth -= 1;
+                if depth == 0 {
+                    return (k + 1, has_test && !has_not);
+                }
+            }
+            TokenKind::Ident(s) if s == "test" || s.ends_with("::test") => has_test = true,
+            TokenKind::Ident(s) if s == "not" => has_not = true,
+            _ => {}
+        }
+    }
+    (tokens.len(), has_test && !has_not)
+}
+
+/// Find the end of the item starting at `i` (a `mod`/`fn`/`impl` header):
+/// the matching `}` of its first `{`, or the terminating `;`.
+fn item_end(tokens: &[Token], i: usize) -> Option<usize> {
+    for k in i..tokens.len() {
+        if tokens[k].is_punct('{') {
+            return matching_brace(tokens, k);
+        }
+        if tokens[k].is_punct(';') {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Index of the `}` matching the `{` at `open`.
+fn matching_brace(tokens: &[Token], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match t.kind {
+            TokenKind::Punct('{') => depth += 1,
+            TokenKind::Punct('}') => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn find_fns(tokens: &[Token], in_test: &[bool]) -> Vec<FnInfo> {
+    let mut fns = Vec::new();
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].ident() == Some("fn") {
+            let Some(name) = tokens.get(i + 1).and_then(Token::ident) else {
+                i += 1;
+                continue;
+            };
+            // Visibility: a `pub` in the few tokens before `fn`, stopping
+            // at the previous item boundary.
+            let mut is_pub = false;
+            for k in (i.saturating_sub(8)..i).rev() {
+                match &tokens[k].kind {
+                    TokenKind::Punct(';' | '{' | '}') => break,
+                    TokenKind::Ident(s) if s == "pub" => {
+                        is_pub = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            // Return type between `->` and the body `{` (or `;`).
+            let mut returns_hash = false;
+            let mut body_open = None;
+            let mut saw_arrow = false;
+            for k in i + 2..tokens.len() {
+                match &tokens[k].kind {
+                    TokenKind::Punct('{') => {
+                        body_open = Some(k);
+                        break;
+                    }
+                    TokenKind::Punct(';') => break,
+                    TokenKind::Punct('>') if tokens[k.saturating_sub(1)].is_punct('-') => {
+                        saw_arrow = true;
+                    }
+                    TokenKind::Ident(s)
+                        if saw_arrow
+                            && (has_segment(s, "HashMap") || has_segment(s, "HashSet")) =>
+                    {
+                        returns_hash = true;
+                    }
+                    _ => {}
+                }
+            }
+            let Some(open) = body_open else {
+                i += 2;
+                continue;
+            };
+            let Some(close) = matching_brace(tokens, open) else {
+                i += 2;
+                continue;
+            };
+            fns.push(FnInfo {
+                name: name.to_string(),
+                is_pub,
+                is_test: in_test.get(i).copied().unwrap_or(false),
+                body: (open, close),
+                direct_sink: false,
+                reaches_sink: false,
+                returns_hash,
+                calls: BTreeSet::new(),
+            });
+            i += 2; // keep scanning inside the body: nested fns are items too
+        } else {
+            i += 1;
+        }
+    }
+    // Fill direct sinks and the call lists.
+    let names: BTreeSet<String> = fns.iter().map(|f| f.name.clone()).collect();
+    for f in &mut fns {
+        if SINK_FN_NAME_FRAGMENTS.iter().any(|p| f.name.contains(p)) {
+            f.direct_sink = true;
+        }
+        for k in f.body.0..=f.body.1 {
+            if let Some(id) = tokens[k].ident() {
+                let last = id.rsplit("::").next().unwrap_or(id);
+                if SINK_IDENTS.contains(&last) {
+                    f.direct_sink = true;
+                }
+                if names.contains(last)
+                    && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                    && last != f.name
+                {
+                    f.calls.insert(last.to_string());
+                }
+            }
+        }
+    }
+    fns
+}
+
+/// Propagate sink-reachability through same-file calls to a fixpoint.
+fn propagate_sinks(fns: &mut [FnInfo]) {
+    let mut reach: BTreeMap<String, bool> = fns
+        .iter()
+        .map(|f| (f.name.clone(), f.direct_sink))
+        .collect();
+    loop {
+        let mut changed = false;
+        for f in fns.iter() {
+            if reach.get(&f.name) == Some(&true) {
+                continue;
+            }
+            if f.calls.iter().any(|c| reach.get(c) == Some(&true)) {
+                reach.insert(f.name.clone(), true);
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    for f in fns.iter_mut() {
+        f.reaches_sink = reach.get(&f.name).copied().unwrap_or(f.direct_sink);
+    }
+}
+
+/// Infer identifiers that hold hash containers:
+/// * `name: …HashMap<…>` anywhere (struct fields, fn params, let
+///   ascriptions, struct-literal fields initialized from a constructor);
+/// * `let [mut] name = …HashMap::new()/…collect::<HashMap…>` and
+///   `let [mut] name = hash_returning_fn(…)`.
+fn collect_hash_names(tokens: &[Token], fns: &[FnInfo]) -> (BTreeSet<String>, BTreeSet<String>) {
+    let hash_fns: BTreeSet<&str> = fns
+        .iter()
+        .filter(|f| f.returns_hash)
+        .map(|f| f.name.as_str())
+        .collect();
+    let mut decls = BTreeSet::new();
+    let mut locals = BTreeSet::new();
+    for i in 0..tokens.len() {
+        // `name : Type` — require a plain identifier, a single `:` (not
+        // `::`), and a type window mentioning a hash container.
+        if let Some(name) = tokens[i].ident() {
+            if name.contains("::") {
+                continue;
+            }
+            let colon = tokens.get(i + 1).is_some_and(|t| t.is_punct(':'))
+                && !tokens.get(i + 2).is_some_and(|t| t.is_punct(':'));
+            if colon && type_window_has_hash(tokens, i + 2) {
+                // `let [mut] name: Hash…` is a local; anything else
+                // (struct field, fn param) is a declaration reachable
+                // through projections like `self.name`.
+                let before = |k: usize| {
+                    i.checked_sub(k)
+                        .and_then(|j| tokens.get(j))
+                        .and_then(Token::ident)
+                };
+                let is_let = before(1) == Some("let")
+                    || (before(1) == Some("mut") && before(2) == Some("let"));
+                if is_let {
+                    locals.insert(name.to_string());
+                } else {
+                    decls.insert(name.to_string());
+                }
+                continue;
+            }
+            // `let [mut] name = rhs ;`
+            if tokens[i].ident() == Some("let") {
+                let mut j = i + 1;
+                if tokens.get(j).and_then(Token::ident) == Some("mut") {
+                    j += 1;
+                }
+                let Some(bound) = tokens.get(j).and_then(Token::ident) else {
+                    continue;
+                };
+                // Skip over a type ascription (possibly an alias hiding a
+                // hash type) to the `=`, so the rhs still gets scanned.
+                let mut eq = j + 1;
+                if tokens.get(eq).is_some_and(|t| t.is_punct(':')) {
+                    while eq < tokens.len().min(j + 40)
+                        && !tokens[eq].is_punct('=')
+                        && !tokens[eq].is_punct(';')
+                    {
+                        eq += 1;
+                    }
+                }
+                if tokens.get(eq).is_some_and(|t| t.is_punct('=')) {
+                    let j = eq; // rhs scan starts after the `=`
+                    let mut depth = 0i32;
+                    let window = tokens.len().min(j + 80);
+                    for t in tokens.iter().take(window).skip(j + 1) {
+                        match &t.kind {
+                            TokenKind::Punct('(' | '[' | '{') => depth += 1,
+                            TokenKind::Punct(')' | ']' | '}') => depth -= 1,
+                            TokenKind::Punct(';') if depth <= 0 => break,
+                            TokenKind::Ident(s)
+                                if has_segment(s, "HashMap")
+                                    || has_segment(s, "HashSet")
+                                    || hash_fns.contains(s.as_str()) =>
+                            {
+                                locals.insert(bound.to_string());
+                                break;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let names: BTreeSet<String> = decls.union(&locals).cloned().collect();
+    let locals_only: BTreeSet<String> = locals.difference(&decls).cloned().collect();
+    (names, locals_only)
+}
+
+/// Scan a type window after `name:` for `HashMap`/`HashSet`, stopping at
+/// separators outside angle brackets.
+fn type_window_has_hash(tokens: &[Token], start: usize) -> bool {
+    let mut angle = 0i32;
+    for t in tokens.iter().skip(start).take(30) {
+        match &t.kind {
+            TokenKind::Punct('<') => angle += 1,
+            TokenKind::Punct('>') => angle -= 1,
+            TokenKind::Punct(',' | ')') if angle <= 0 => return false,
+            TokenKind::Punct(';' | '{' | '}' | '=') => return false,
+            TokenKind::Ident(s) if has_segment(s, "HashMap") || has_segment(s, "HashSet") => {
+                return true
+            }
+            _ => {}
+        }
+    }
+    false
+}
+
+/// Parse `lint:allow(rule): reason` directives out of comments. A
+/// directive on a line with code applies to that line; a directive on a
+/// comment-only line applies to the next line.
+fn parse_allows(comments: &[Comment], tokens: &[Token]) -> (Vec<AllowDirective>, Vec<BadAllow>) {
+    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    let mut allows = Vec::new();
+    let mut bad = Vec::new();
+    for c in comments {
+        // Directives live in regular `//` comments only. Doc comments
+        // (`///` → text starting with `/`, `//!` → starting with `!`)
+        // are prose and may *mention* the syntax without invoking it.
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue;
+        }
+        let Some(pos) = c.text.find("lint:allow") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint:allow".len()..];
+        let parsed = (|| {
+            let rest = rest.strip_prefix('(')?;
+            let close = rest.find(')')?;
+            let rule = rest[..close].trim().to_string();
+            let after = rest[close + 1..].trim_start();
+            let reason = after.strip_prefix(':')?.trim().to_string();
+            Some((rule, reason))
+        })();
+        match parsed {
+            Some((rule, _)) if rule.is_empty() => bad.push(BadAllow {
+                line: c.line,
+                why: "empty rule id".to_string(),
+            }),
+            Some((rule, reason)) if reason.is_empty() => bad.push(BadAllow {
+                line: c.line,
+                why: format!("lint:allow({rule}) has no reason — every suppression must say why"),
+            }),
+            Some((rule, reason)) => {
+                let applies_to = if code_lines.contains(&c.line) {
+                    c.line
+                } else {
+                    c.line + 1
+                };
+                allows.push(AllowDirective {
+                    line: c.line,
+                    applies_to,
+                    rule,
+                    reason,
+                });
+            }
+            None => bad.push(BadAllow {
+                line: c.line,
+                why: "expected `lint:allow(rule-id): reason`".to_string(),
+            }),
+        }
+    }
+    (allows, bad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_attribution() {
+        assert_eq!(crate_of("crates/monitor/src/scraper.rs"), "monitor");
+        assert_eq!(crate_of("src/bin/pwnd.rs"), "bin");
+        assert_eq!(crate_of("tests/determinism.rs"), "tests");
+    }
+
+    #[test]
+    fn cfg_test_region_is_marked() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }\n";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        let live = f.fns.iter().find(|f| f.name == "live").unwrap();
+        let helper = f.fns.iter().find(|f| f.name == "helper").unwrap();
+        assert!(!live.is_test);
+        assert!(helper.is_test);
+    }
+
+    #[test]
+    fn hash_names_from_field_param_and_let() {
+        let src = "struct S { m: HashMap<u32, u32> }\n\
+                   fn f(set: &HashSet<u8>) { let mut local: HashMap<u8,u8> = HashMap::new();\n\
+                   let built = HashSet::new(); let plain = 3; }";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        for n in ["m", "set", "local", "built"] {
+            assert!(f.hash_names.contains(n), "missing {n}");
+        }
+        assert!(!f.hash_names.contains("plain"));
+    }
+
+    #[test]
+    fn hash_returning_fn_taints_let() {
+        let src = "fn counts() -> HashMap<String, u64> { HashMap::new() }\n\
+                   fn g() { let ca = counts(); }";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(f.hash_names.contains("ca"));
+    }
+
+    #[test]
+    fn sink_propagates_through_calls() {
+        let src = "fn emit(s: &str) { println!(\"{s}\"); }\n\
+                   fn outer() { emit(\"x\"); }\n\
+                   fn pure_helper() -> u32 { 1 }";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert!(
+            f.fns
+                .iter()
+                .find(|x| x.name == "emit")
+                .unwrap()
+                .reaches_sink
+        );
+        assert!(
+            f.fns
+                .iter()
+                .find(|x| x.name == "outer")
+                .unwrap()
+                .reaches_sink
+        );
+        assert!(
+            !f.fns
+                .iter()
+                .find(|x| x.name == "pure_helper")
+                .unwrap()
+                .reaches_sink
+        );
+    }
+
+    #[test]
+    fn allow_parsing_good_and_bad() {
+        let src = "\
+// lint:allow(hash-order): keys re-sorted downstream
+let a = 1;
+let b = 2; // lint:allow(panic-hazard): bounded by construction
+// lint:allow(env-io)
+// lint:allow(wall-clock):
+";
+        let f = SourceFile::new("crates/x/src/lib.rs", src);
+        assert_eq!(f.allows.len(), 2);
+        assert_eq!(f.allows[0].rule, "hash-order");
+        assert_eq!(f.allows[0].applies_to, 2);
+        assert_eq!(f.allows[1].applies_to, 3);
+        assert_eq!(f.bad_allows.len(), 2);
+    }
+}

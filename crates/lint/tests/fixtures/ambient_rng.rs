@@ -1,0 +1,16 @@
+// Seeded violations for the ambient-rng rule. Linted as if it lived at
+// crates/attacker/src/bad.rs.
+
+pub fn naughty() -> u64 {
+    let mut rng = rand::thread_rng(); // finding: ambient-rng
+    let x: u64 = rand::random(); // finding: ambient-rng
+    let s = std::collections::hash_map::RandomState::new(); // finding: ambient-rng
+    let _ = (&mut rng, s);
+    x
+}
+
+pub fn fine(seed: u64) -> u64 {
+    // Salted-stream constructors are the sanctioned path.
+    let mut rng = pwnd_sim::Rng::seed_from(seed);
+    rng.next_u64()
+}

@@ -1,0 +1,14 @@
+// Seeded violations for the env-io rule. Linted as if it lived at
+// crates/corpus/src/bad.rs (a pure crate).
+
+pub fn naughty() -> String {
+    let home = std::env::var("HOME").unwrap_or_default(); // finding: env-io
+    let text = std::fs::read_to_string("/etc/hostname").unwrap_or_default(); // finding: env-io
+    let _sock = std::net::TcpStream::connect("127.0.0.1:1"); // finding: env-io
+    format!("{home}{text}")
+}
+
+pub fn fine(bytes: &[u8]) -> usize {
+    // Pure computation over inputs is what these crates are for.
+    bytes.len()
+}

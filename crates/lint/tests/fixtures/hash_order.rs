@@ -1,0 +1,38 @@
+// Seeded violations for the hash-order rule. Linted as if it lived at
+// crates/analysis/src/bad.rs.
+use std::collections::{BTreeMap, HashMap};
+
+pub fn leaky(m: &HashMap<String, u64>) -> Vec<u64> {
+    m.values().copied().collect() // finding: pub fn, unsorted hash iteration
+}
+
+pub fn render(m: &HashMap<String, u64>) -> String {
+    let mut out = String::new();
+    for (k, v) in m.iter() {
+        // finding: loop order reaches the rendered string
+        out.push_str(&format!("{k}={v}\n"));
+    }
+    out
+}
+
+pub fn sorted_first(m: &HashMap<String, u64>) -> Vec<String> {
+    let mut keys: Vec<String> = m.keys().cloned().collect();
+    keys.sort(); // no finding: sorted before anyone can observe the order
+    keys
+}
+
+pub fn rehomed(m: &HashMap<String, u64>) -> BTreeMap<String, u64> {
+    m.iter().map(|(k, v)| (k.clone(), *v)).collect::<BTreeMap<_, _>>() // no finding
+}
+
+pub fn order_free(m: &HashMap<String, u64>) -> u64 {
+    m.values().sum() // no finding: sum is order-insensitive
+}
+
+fn private_helper(m: &HashMap<String, u64>) -> Vec<u64> {
+    m.values().copied().collect() // no finding: private, reaches no sink
+}
+
+pub fn total(m: &HashMap<String, u64>) -> u64 {
+    private_helper(m).iter().sum()
+}

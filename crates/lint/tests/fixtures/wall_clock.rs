@@ -1,0 +1,24 @@
+// Seeded violations for the wall-clock rule. Linted as if it lived at
+// crates/sim/src/bad.rs (a deterministic crate).
+use std::time::{Instant, SystemTime};
+
+pub fn naughty() -> u64 {
+    let t = Instant::now(); // finding: wall-clock
+    std::thread::sleep(std::time::Duration::from_millis(1)); // finding: wall-clock
+    let s = SystemTime::now(); // finding: wall-clock
+    let _ = (t, s);
+    0
+}
+
+pub fn fine() -> &'static str {
+    // Strings are opaque: "Instant::now" is not a finding.
+    "Instant::now"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let _ = std::time::Instant::now(); // no finding: test region
+    }
+}

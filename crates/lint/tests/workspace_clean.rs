@@ -1,0 +1,18 @@
+//! The workspace itself must lint clean: this is the same gate CI runs
+//! with `cargo run -p pwnd-lint -- --deny`, wired into `cargo test` so a
+//! determinism regression cannot land even on machines that skip CI.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = pwnd_lint::find_workspace_root(here).expect("workspace root");
+    let report = pwnd_lint::lint_workspace(&root, None).expect("scan workspace");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must be lint-clean; run `cargo run -p pwnd-lint` for details:\n{}",
+        report.render()
+    );
+    assert!(report.files_scanned > 100, "scan looks too small");
+}

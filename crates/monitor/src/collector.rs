@@ -13,7 +13,7 @@ use pwnd_net::access::CookieId;
 use pwnd_sim::{SimDuration, SimTime};
 use pwnd_telemetry::TelemetrySink;
 use pwnd_webmail::account::AccountId;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// What a notification reports.
 #[derive(Clone, Debug, PartialEq)]
@@ -71,12 +71,15 @@ pub struct Notification {
 #[derive(Clone, Debug, Default)]
 pub struct NotificationCollector {
     notifications: Vec<Notification>,
-    /// Delivery ids already stored, for at-least-once dedup.
-    seen: HashSet<(u32, u64)>,
-    /// Constant-time per-account last-heartbeat index, maintained on
-    /// receive (the dataset builder queries it once per account; the old
-    /// implementation re-scanned the whole notification vector per call).
-    last_heartbeat: HashMap<AccountId, SimTime>,
+    /// Delivery ids already stored, for at-least-once dedup. Ordered
+    /// container so any future iteration is deterministic by
+    /// construction (the determinism linter's hash-order rule).
+    seen: BTreeSet<(u32, u64)>,
+    /// Per-account last-heartbeat index, maintained on receive (the
+    /// dataset builder queries it once per account; the old
+    /// implementation re-scanned the whole notification vector per
+    /// call). Ordered for the same reason as `seen`.
+    last_heartbeat: BTreeMap<AccountId, SimTime>,
     fault_plan: FaultPlan,
     duplicates: u64,
     lost: u64,
@@ -182,9 +185,10 @@ impl NotificationCollector {
             .collect();
         beats.sort_unstable();
         beats
-            .windows(2)
-            .filter(|w| w[1].since(w[0]) > min_gap)
-            .map(|w| (w[0], w[1]))
+            .iter()
+            .zip(beats.iter().skip(1))
+            .filter(|(a, b)| b.since(**a) > min_gap)
+            .map(|(a, b)| (*a, *b))
             .collect()
     }
 

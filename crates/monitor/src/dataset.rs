@@ -22,7 +22,7 @@ use pwnd_net::ip::AddressPlan;
 use pwnd_sim::SimTime;
 use pwnd_telemetry::json::{Json, JsonError};
 use pwnd_webmail::account::AccountId;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// One unique access: a device cookie observed on a honey account.
 #[derive(Clone, Debug, PartialEq)]
@@ -552,12 +552,12 @@ impl<'a> DatasetBuilder<'a> {
 
         // Hijack attribution: the last foreign cookie seen on the account
         // before the scraper noticed the hijack.
-        let hijack_time: HashMap<u32, u64> = self
+        let hijack_time: BTreeMap<u32, u64> = self
             .meta
             .iter()
             .filter_map(|m| m.hijack_detected_secs.map(|t| (m.account, t)))
             .collect();
-        let mut hijacker_of: HashMap<u32, u64> = HashMap::new();
+        let mut hijacker_of: BTreeMap<u32, u64> = BTreeMap::new();
         for (&(account, cookie), e) in &per {
             if self.own_cookies.contains(&cookie) {
                 continue;
@@ -565,6 +565,7 @@ impl<'a> DatasetBuilder<'a> {
             if let (Some(&ht), Some(last)) = (hijack_time.get(&account), e.last) {
                 if last <= ht {
                     let slot = hijacker_of.entry(account).or_insert(cookie);
+                    // lint:allow(panic-hazard): (account, *slot) was inserted into `per` by the loop above; a miss is a logic bug, not bad input
                     let best_last = per[&(account, *slot)].last.unwrap_or(0);
                     if last >= best_last {
                         *slot = cookie;

@@ -107,31 +107,31 @@ fn err(line: usize, reason: &str) -> ParseError {
 }
 
 fn parse_row(n: usize, parts: &[&str]) -> Result<ActivityRow, ParseError> {
-    if parts.len() != 9 {
+    let [cookie_s, at_s, ip_s, country_s, city_s, lat_s, lon_s, browser_s, os_s] = parts else {
         return Err(err(n, "row needs 9 fields"));
-    }
-    let cookie: u64 = parts[0].parse().map_err(|_| err(n, "bad cookie"))?;
-    let at: u64 = parts[1].parse().map_err(|_| err(n, "bad time"))?;
-    let ip: Ipv4Addr = parts[2].parse().map_err(|_| err(n, "bad ip"))?;
-    let country = if parts[3] == "??" {
+    };
+    let cookie: u64 = cookie_s.parse().map_err(|_| err(n, "bad cookie"))?;
+    let at: u64 = at_s.parse().map_err(|_| err(n, "bad time"))?;
+    let ip: Ipv4Addr = ip_s.parse().map_err(|_| err(n, "bad ip"))?;
+    let country = if *country_s == "??" {
         None
     } else {
-        country_from_code(parts[3])
+        country_from_code(country_s)
     };
-    let lat: f64 = parts[5].parse().map_err(|_| err(n, "bad lat"))?;
-    let lon: f64 = parts[6].parse().map_err(|_| err(n, "bad lon"))?;
+    let lat: f64 = lat_s.parse().map_err(|_| err(n, "bad lat"))?;
+    let lon: f64 = lon_s.parse().map_err(|_| err(n, "bad lon"))?;
     Ok(ActivityRow {
         cookie: CookieId(cookie),
         at: SimTime::from_secs(at),
         ip,
         location: GeoLocation {
             country,
-            city: city_from_name(parts[4]),
+            city: city_from_name(city_s),
             point: GeoPoint { lat, lon },
         },
         fingerprint: Fingerprint {
-            browser: browser_from_label(parts[7]),
-            os: os_from_label(parts[8]),
+            browser: browser_from_label(browser_s),
+            os: os_from_label(os_s),
         },
     })
 }

@@ -165,7 +165,13 @@ impl Scraper {
         account: AccountId,
         at: SimTime,
     ) -> ScrapeOutcome {
-        let (address, password) = self.credentials[&account].clone();
+        let Some((address, password)) = self.credentials.get(&account).cloned() else {
+            // An unregistered account is a driver bug, but the monitor
+            // must keep sweeping the rest of the fleet rather than die.
+            self.telemetry
+                .count_labeled("monitor.scrapes", "unknown_account");
+            return ScrapeOutcome::GaveUp;
+        };
         self.telemetry.count("monitor.scrapes");
         let mut t = at;
         let mut attempt = 0u32;
@@ -230,12 +236,15 @@ impl Scraper {
         at: SimTime,
     ) -> Result<Vec<ActivityRow>, LoginError> {
         let ip = AddressPlan::sample_infra(&mut self.rng);
+        // The geo db ships INFRA_CITY, but a scrape must not panic if a
+        // trimmed db drops it: the UK midpoint keeps the login close
+        // enough that distance-based suspicion filters behave the same.
         let infra_point = service
             .geolocator()
             .geo()
             .by_name(INFRA_CITY)
-            .expect("infra city")
-            .point;
+            .map(|c| c.point)
+            .unwrap_or(pwnd_net::geo::UK_MIDPOINT);
         let mut conn = ConnectionInfo::new(
             ip,
             ClientConfig::plain(Browser::Chrome, Os::Linux),
@@ -246,9 +255,12 @@ impl Scraper {
         }
         let (session, cookie) = service.login(address, password, &conn, at)?;
         self.cookies.insert(account, cookie);
+        // A fresh session always reads its own page in a healthy
+        // service; under fault injection the session may already be torn
+        // down, which the retry loop should treat as a transient flake.
         let rows = service
             .read_activity_page(session)
-            .expect("fresh session reads its own page");
+            .map_err(|_| LoginError::Maintenance)?;
         // The scraper's own login mutates the page; fingerprint
         // only foreign rows so quiet accounts dedupe.
         let fingerprint: Vec<(u64, u64)> = rows

@@ -8,6 +8,7 @@
 //! pwnd chaos   [--seed N] [--quick] [--faults NAME]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
+//! pwnd lint    [--deny] [--json]
 //! ```
 
 use pwnd::analysis::tables::overview;
@@ -26,6 +27,7 @@ commands:
   chaos    data-loss ablation: sweep fault-rate factors over one seed
   leaks    the leak plan actually executed
   truth    ground-truth vs observed audit
+  lint     run the determinism & invariant linter over the workspace
 
 flags:
   --seed N         RNG seed (default 2016); for sweep, the base seed
@@ -38,6 +40,8 @@ flags:
   --out FILE       (export) output path (default dataset.json)
   --trace-out FILE (trace) write the JSONL trace here instead of stdout
   --seeds N        (sweep) number of seeds (default 8)
+  --deny           (lint) exit nonzero when any finding survives suppression
+  --json           (lint) emit the machine-readable report
   -h, --help       print this help";
 
 struct Args {
@@ -50,6 +54,8 @@ struct Args {
     trace_out: Option<String>,
     seeds: u64,
     faults: Option<FaultProfile>,
+    deny: bool,
+    json: bool,
 }
 
 enum Cli {
@@ -76,6 +82,8 @@ fn parse(mut argv: std::env::Args) -> Cli {
         trace_out: None,
         seeds: 8,
         faults: None,
+        deny: false,
+        json: false,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -135,6 +143,14 @@ fn parse(mut argv: std::env::Args) -> Cli {
             }
             "--profile" => {
                 args.profile = true;
+                i += 1;
+            }
+            "--deny" => {
+                args.deny = true;
+                i += 1;
+            }
+            "--json" => {
+                args.json = true;
                 i += 1;
             }
             other => {
@@ -326,6 +342,42 @@ fn main() -> ExitCode {
             q.sort_unstable();
             q.dedup();
             println!("distinct queries   : {q:?}");
+        }
+        "lint" => {
+            let root = match std::env::current_dir()
+                .ok()
+                .and_then(|d| pwnd_lint::find_workspace_root(&d))
+            {
+                Some(r) => r,
+                None => {
+                    eprintln!("pwnd lint: no workspace root found above the current directory");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let report = match pwnd_lint::lint_workspace(&root, None) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("pwnd lint: scan failed under {}: {e}", root.display());
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sink = TelemetrySink::enabled();
+            for (rule, n) in report.counts_by_rule() {
+                for _ in 0..n {
+                    sink.count_labeled("lint.findings", &rule);
+                }
+            }
+            if args.json {
+                print!("{}", report.render_json());
+            } else {
+                print!("{}", report.render());
+            }
+            if args.profile {
+                println!("{}", sink.report().render());
+            }
+            if args.deny && !report.findings.is_empty() {
+                return ExitCode::FAILURE;
+            }
         }
         _ => {
             eprintln!("{USAGE}");

@@ -41,6 +41,7 @@ pub use pwnd_core as core;
 pub use pwnd_corpus as corpus;
 pub use pwnd_faults as faults;
 pub use pwnd_leak as leak;
+pub use pwnd_lint as lint;
 pub use pwnd_monitor as monitor;
 pub use pwnd_net as net;
 pub use pwnd_sim as sim;

@@ -1,0 +1,35 @@
+//! Cross-run determinism regression gate: two *fresh* experiment runs
+//! from the same seed and config must produce byte-identical artifacts.
+//! This is the property the pwnd-lint rules exist to protect — if a
+//! wall-clock read, hash-order iteration, or ambient RNG draw ever
+//! sneaks past the linter, this test is the backstop that catches the
+//! divergence.
+
+use pwnd::{Experiment, ExperimentConfig, RunOutput};
+
+fn fresh_run(seed: u64) -> RunOutput {
+    Experiment::new(ExperimentConfig::quick(seed)).run()
+}
+
+#[test]
+fn same_seed_runs_export_byte_identical_json() {
+    let a = fresh_run(1701);
+    let b = fresh_run(1701);
+    assert_eq!(a.dataset_json(), b.dataset_json());
+}
+
+#[test]
+fn same_seed_runs_render_byte_identical_analysis() {
+    let a = fresh_run(77).analysis().render();
+    let b = fresh_run(77).analysis().render();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_actually_diverge() {
+    // Guards against the trivial failure mode where "deterministic"
+    // means "constant": the seed must still steer the run.
+    let a = fresh_run(1).dataset_json();
+    let b = fresh_run(2).dataset_json();
+    assert_ne!(a, b);
+}
