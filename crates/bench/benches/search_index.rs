@@ -1,0 +1,63 @@
+//! Microbenchmarks for the mailbox search hot path.
+//!
+//! `SearchIndex::search` runs on every gold-digger visit, so the sweep
+//! and chaos batches hit it thousands of times per run. These benches
+//! pin the cases the intersection rewrite targets: multi-term
+//! conjunctions (smallest-list-first probing instead of per-term set
+//! cloning), the guaranteed-miss short-circuit, and index build over a
+//! realistic corpus-generated mailbox.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pwnd_corpus::archetype::Archetype;
+use pwnd_corpus::generator::CorpusGenerator;
+use pwnd_corpus::persona::PersonaFactory;
+use pwnd_sim::{Rng, SimTime};
+use pwnd_webmail::mailbox::Mailbox;
+use pwnd_webmail::search::SearchIndex;
+use std::hint::black_box;
+
+fn fixture_mailbox() -> Mailbox {
+    let mut rng = Rng::seed_from(7);
+    let mut factory = PersonaFactory::new();
+    let peers = factory.generate_batch(12, |_| None, &mut rng);
+    let persona = factory.generate(None, &mut rng);
+    let mut generator = CorpusGenerator::with_archetype(Archetype::CorporateEmployee);
+    let emails = generator.generate_mailbox(&persona, &peers, 300, 300, &mut rng);
+    let mut mailbox = Mailbox::new();
+    for e in emails {
+        mailbox.deliver(e);
+    }
+    mailbox
+}
+
+fn bench(c: &mut Criterion) {
+    let mailbox = fixture_mailbox();
+
+    c.bench_function("webmail/search_index_build_300", |b| {
+        b.iter(|| SearchIndex::build(black_box(&mailbox)))
+    });
+
+    let mut idx = SearchIndex::build(&mailbox);
+    let mut t = 0u64;
+    let mut at = move || {
+        t += 1;
+        SimTime::from_secs(t)
+    };
+
+    c.bench_function("webmail/search_single_common_term", |b| {
+        b.iter(|| black_box(idx.search("payment", at())))
+    });
+
+    let mut idx = SearchIndex::build(&mailbox);
+    c.bench_function("webmail/search_multi_term_conjunction", |b| {
+        b.iter(|| black_box(idx.search("wire transfer invoice payment", at())))
+    });
+
+    let mut idx = SearchIndex::build(&mailbox);
+    c.bench_function("webmail/search_missing_term_short_circuit", |b| {
+        b.iter(|| black_box(idx.search("payment zzzunindexed", at())))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

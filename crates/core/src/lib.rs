@@ -28,7 +28,9 @@
 pub mod config;
 pub mod experiment;
 pub mod output;
+pub mod runner;
 
 pub use config::ExperimentConfig;
 pub use experiment::Experiment;
 pub use output::{GroundTruth, RunOutput};
+pub use runner::{Batch, BatchProfile, Runner};

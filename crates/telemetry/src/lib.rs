@@ -49,7 +49,7 @@ pub mod trace;
 pub use json::{Json, JsonError};
 pub use metrics::{HistogramSummary, MetricsSnapshot};
 pub use profile::PhaseSummary;
-pub use report::TelemetryReport;
+pub use report::{format_duration, TelemetryReport};
 pub use sink::{SpanGuard, TelemetrySink};
 pub use table::Table;
 pub use trace::TraceEvent;

@@ -40,6 +40,26 @@ impl Histogram {
         self.sum = self.sum.saturating_add(value);
     }
 
+    /// Fold another histogram's observations into this one. The result
+    /// is identical to observing both input streams into one histogram,
+    /// whatever the interleaving — the merge is order-free.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        for (b, c) in other.buckets() {
+            *self.buckets.entry(b).or_insert(0) += c;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+    }
+
     /// Summarize for reporting.
     pub fn summary(&self) -> HistogramSummary {
         HistogramSummary {
@@ -159,6 +179,24 @@ impl MetricsSnapshot {
     pub fn gauge(&self, name: &str) -> u64 {
         self.gauges.get(name).copied().unwrap_or(0)
     }
+
+    /// Fold another snapshot into this one: counters and histogram
+    /// observations sum, gauges keep the highest value seen (high-water
+    /// semantics — the only gauge kind the workspace records). Because
+    /// every combinator is commutative and associative, merging a set of
+    /// per-worker snapshots yields the same result in any order.
+    pub fn merge_from(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(0);
+            *slot = (*slot).max(v);
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -201,6 +239,49 @@ mod tests {
         assert_eq!(sum.min, 0);
         assert_eq!(sum.max, 1024);
         assert!((sum.mean - 1034.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_merge_equals_joint_observation() {
+        let mut joint = Histogram::default();
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [0, 3, 9, 1024] {
+            joint.observe(v);
+            a.observe(v);
+        }
+        for v in [7, 7, 2_000_000] {
+            joint.observe(v);
+            b.observe(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, joint);
+        // Merging an empty histogram is a no-op either way.
+        let empty = Histogram::default();
+        a.merge(&empty);
+        assert_eq!(a, joint);
+        let mut from_empty = Histogram::default();
+        from_empty.merge(&joint);
+        assert_eq!(from_empty, joint);
+    }
+
+    #[test]
+    fn snapshot_merge_sums_counters_and_maxes_gauges() {
+        let mut a = Registry::default();
+        a.count_by("runs", None, 2);
+        a.gauge_max("depth", None, 5);
+        a.observe("lat", None, 4);
+        let mut b = Registry::default();
+        b.count_by("runs", None, 3);
+        b.count_by("other", Some("x"), 1);
+        b.gauge_max("depth", None, 3);
+        b.observe("lat", None, 9);
+        let mut merged = a.snapshot();
+        merged.merge_from(&b.snapshot());
+        assert_eq!(merged.counter("runs"), 5);
+        assert_eq!(merged.counters["other{x}"], 1);
+        assert_eq!(merged.gauge("depth"), 5);
+        assert_eq!(merged.histograms["lat"].summary().count, 2);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::time::Duration;
 
 #[derive(Clone, Debug)]
 struct Phase {
-    name: &'static str,
+    name: String,
     total: Duration,
     entries: u32,
 }
@@ -27,16 +27,23 @@ pub struct Profiler {
 
 impl Profiler {
     /// Fold one finished span into its phase.
-    pub fn record(&mut self, name: &'static str, elapsed: Duration) {
+    pub fn record(&mut self, name: &str, elapsed: Duration) {
+        self.record_entries(name, elapsed, 1);
+    }
+
+    /// Fold an already-aggregated phase total (from another profiler's
+    /// summary) into this one — the merge primitive behind
+    /// [`TelemetryReport::merge`](crate::report::TelemetryReport::merge).
+    pub fn record_entries(&mut self, name: &str, elapsed: Duration, entries: u32) {
         match self.phases.iter_mut().find(|p| p.name == name) {
             Some(p) => {
                 p.total += elapsed;
-                p.entries += 1;
+                p.entries += entries;
             }
             None => self.phases.push(Phase {
-                name,
+                name: name.to_string(),
                 total: elapsed,
-                entries: 1,
+                entries,
             }),
         }
     }
@@ -46,7 +53,7 @@ impl Profiler {
         self.phases
             .iter()
             .map(|p| PhaseSummary {
-                name: p.name.to_string(),
+                name: p.name.clone(),
                 total: p.total,
                 entries: p.entries,
             })

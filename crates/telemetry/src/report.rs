@@ -30,6 +30,12 @@ impl PartialEq for TelemetryReport {
     }
 }
 
+/// Render a duration the way the profile tables do: seconds above 1s,
+/// milliseconds above 1ms, whole microseconds below.
+pub fn format_duration(d: Duration) -> String {
+    fmt_duration(d)
+}
+
 fn fmt_duration(d: Duration) -> String {
     let secs = d.as_secs_f64();
     if secs >= 1.0 {
@@ -46,6 +52,49 @@ impl TelemetryReport {
     /// [`MetricsSnapshot::counter`]).
     pub fn counter(&self, name: &str) -> u64 {
         self.metrics.counter(name)
+    }
+
+    /// Merge per-worker (or per-run) reports into one, deterministically:
+    ///
+    /// * **counters** and **histograms** sum (order-free combinators);
+    /// * **gauges** keep the highest value (high-water semantics);
+    /// * **traces** are interleaved by `(t_secs, input index)` — each
+    ///   input's trace is already time-ordered, so a stable k-way merge
+    ///   keyed on sim time with the submission index as tie-break gives
+    ///   one canonical stream, independent of which thread ran what;
+    /// * **phases** accumulate by name, ordered by first appearance
+    ///   scanning inputs in submission order (phase *totals* are wall
+    ///   clock and excluded from report equality, as always).
+    ///
+    /// Because every rule depends only on the inputs and their submission
+    /// order — never on thread scheduling — the merged report for a batch
+    /// is itself a pure function of `(seeds, configs)`.
+    pub fn merge(reports: &[TelemetryReport]) -> TelemetryReport {
+        let mut metrics = MetricsSnapshot::default();
+        let mut trace_dropped = 0u64;
+        let mut profiler = crate::profile::Profiler::default();
+        for r in reports {
+            metrics.merge_from(&r.metrics);
+            trace_dropped += r.trace_dropped;
+            for p in &r.phases {
+                profiler.record_entries(&p.name, p.total, p.entries);
+            }
+        }
+        // Stable k-way interleave: tag with (t_secs, input index) and
+        // sort; stability keeps each input's own order for equal stamps.
+        let mut tagged: Vec<(u64, usize, &TraceEvent)> = Vec::new();
+        for (i, r) in reports.iter().enumerate() {
+            for e in &r.trace {
+                tagged.push((e.at_secs, i, e));
+            }
+        }
+        tagged.sort_by_key(|&(t, i, _)| (t, i));
+        TelemetryReport {
+            metrics,
+            trace: tagged.into_iter().map(|(_, _, e)| e.clone()).collect(),
+            trace_dropped,
+            phases: profiler.summaries(),
+        }
     }
 
     /// The phase-time table (`--profile` output).
@@ -160,6 +209,34 @@ mod tests {
         assert!(text.contains("queue.depth_high_water"));
         assert!(text.contains("security.risk_score_milli"));
         assert!(text.contains("trace: 1 events held"));
+    }
+
+    #[test]
+    fn merge_interleaves_traces_and_sums_metrics() {
+        let a = TelemetrySink::enabled();
+        let b = TelemetrySink::enabled();
+        a.count("runs");
+        b.count("runs");
+        a.trace(10, "login", Some(1));
+        a.trace(30, "login", Some(1));
+        b.trace(10, "scrape", None);
+        b.trace(20, "scrape", None);
+        drop(a.span("event-loop"));
+        drop(b.span("event-loop"));
+        drop(b.span("dataset"));
+        let merged = TelemetryReport::merge(&[a.report(), b.report()]);
+        assert_eq!(merged.counter("runs"), 2);
+        // Interleaved by time; input 0 wins the t=10 tie.
+        let kinds: Vec<&str> = merged.trace.iter().map(|e| e.kind).collect();
+        assert_eq!(kinds, vec!["login", "scrape", "scrape", "login"]);
+        // Phases accumulate by name in first-appearance order.
+        let names: Vec<&str> = merged.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["event-loop", "dataset"]);
+        assert_eq!(merged.phases[0].entries, 2);
+        // Merging is submission-order-deterministic: same inputs, same
+        // report (equality ignores wall-clock phases).
+        let again = TelemetryReport::merge(&[a.report(), b.report()]);
+        assert_eq!(merged, again);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! TF-IDF keyword-inference pipeline against what was really searched).
 
 use crate::mailbox::Mailbox;
-use pwnd_corpus::email::{EmailId, MailTime};
+use pwnd_corpus::email::{Email, EmailId, MailTime};
 use pwnd_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -34,9 +34,11 @@ pub struct SearchIndex {
 }
 
 fn terms_of(text: &str) -> impl Iterator<Item = String> + '_ {
+    // Tokens are pure ASCII alphanumerics by construction of the split,
+    // so the cheap ASCII lowercase is exact.
     text.split(|c: char| !c.is_ascii_alphanumeric())
         .filter(|t| !t.is_empty())
-        .map(|t| t.to_lowercase())
+        .map(|t| t.to_ascii_lowercase())
 }
 
 impl SearchIndex {
@@ -49,16 +51,25 @@ impl SearchIndex {
     pub fn build(mailbox: &Mailbox) -> SearchIndex {
         let mut idx = SearchIndex::new();
         for entry in mailbox.iter() {
-            idx.add(
-                entry.email.id,
-                &entry.email.full_text(),
-                entry.email.timestamp,
-            );
+            idx.add_email(&entry.email);
         }
         idx
     }
 
-    /// Index one document.
+    /// Index one email. Terms are tokenized straight off the subject and
+    /// body — callers no longer materialize the concatenated
+    /// `full_text()` string just to throw it away after tokenization.
+    /// (Pre-deduplicating terms per email was measured slower than
+    /// letting the postings `BTreeSet` absorb repeats.)
+    pub fn add_email(&mut self, email: &Email) {
+        for term in terms_of(&email.subject).chain(terms_of(&email.body)) {
+            self.postings.entry(term).or_default().insert(email.id);
+        }
+        self.recency.insert(email.id, email.timestamp);
+    }
+
+    /// Index one document given as raw text (callers with a real
+    /// [`Email`] should prefer [`SearchIndex::add_email`]).
     pub fn add(&mut self, id: EmailId, text: &str, timestamp: MailTime) {
         for term in terms_of(text) {
             self.postings.entry(term).or_default().insert(id);
@@ -68,20 +79,44 @@ impl SearchIndex {
 
     /// Run a query at time `at`: conjunctive term match, results ranked
     /// newest-first (Gmail's default). The query is logged provider-side.
+    ///
+    /// The intersection walks the smallest posting list and probes the
+    /// others (`O(min · k·log)` instead of cloning and re-collecting a
+    /// `BTreeSet` per term), and short-circuits to empty as soon as any
+    /// term has no postings at all.
     pub fn search(&mut self, query: &str, at: SimTime) -> Vec<EmailId> {
-        let terms: Vec<String> = terms_of(query).collect();
+        let mut terms: Vec<String> = terms_of(query).collect();
+        terms.sort_unstable();
+        terms.dedup();
         let results: Vec<EmailId> = if terms.is_empty() {
             Vec::new()
         } else {
-            let mut acc: Option<BTreeSet<EmailId>> = None;
-            for t in &terms {
-                let posting = self.postings.get(t).cloned().unwrap_or_default();
-                acc = Some(match acc {
-                    None => posting,
-                    Some(prev) => prev.intersection(&posting).copied().collect(),
-                });
-            }
-            let mut hits: Vec<EmailId> = acc.unwrap_or_default().into_iter().collect();
+            let mut hits: Vec<EmailId> = {
+                let mut lists: Vec<&BTreeSet<EmailId>> = Vec::with_capacity(terms.len());
+                let mut missing = false;
+                for t in &terms {
+                    match self.postings.get(t) {
+                        Some(p) if !p.is_empty() => lists.push(p),
+                        // A term nobody ever wrote: the conjunction is
+                        // empty, whatever the other lists hold.
+                        _ => {
+                            missing = true;
+                            break;
+                        }
+                    }
+                }
+                if missing {
+                    Vec::new()
+                } else {
+                    lists.sort_by_key(|p| p.len());
+                    let (smallest, rest) = lists.split_first().expect("terms is non-empty");
+                    smallest
+                        .iter()
+                        .filter(|id| rest.iter().all(|p| p.contains(id)))
+                        .copied()
+                        .collect()
+                }
+            };
             hits.sort_by_key(|id| {
                 (
                     std::cmp::Reverse(self.recency.get(id).copied().unwrap_or(MailTime(i64::MIN))),

@@ -240,16 +240,14 @@ impl WebmailService {
     pub fn seed_mailbox(&mut self, account: AccountId, emails: Vec<Email>) {
         let idx = account.0 as usize;
         for email in emails {
-            let text = email.full_text();
             let id = email.id;
-            let ts = email.timestamp;
             let actions: Vec<RuleAction> = self.rules[idx]
                 .actions_for(&email)
                 .into_iter()
                 .cloned()
                 .collect();
+            self.indexes[idx].add_email(&email);
             self.mailboxes[idx].deliver(email);
-            self.indexes[idx].add(id, &text, ts);
             for action in actions {
                 match action {
                     RuleAction::ApplyLabel(label) => {
@@ -504,7 +502,7 @@ impl WebmailService {
             body: body.to_string(),
             timestamp: MailTime::from_sim(at),
         };
-        self.indexes[account.0 as usize].add(id, &email.full_text(), email.timestamp);
+        self.indexes[account.0 as usize].add_email(&email);
         self.mailboxes[account.0 as usize].store_draft(email);
         self.events.push(WebmailEvent::DraftCreated {
             account,

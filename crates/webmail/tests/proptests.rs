@@ -149,3 +149,116 @@ proptest! {
         prop_assert!(sends <= 12, "ransom survived {sends} sends");
     }
 }
+
+/// Small vocabulary so multi-term queries actually intersect; the last
+/// entries are rare or absent, exercising the empty-posting short
+/// circuit.
+const VOCAB: &[&str] = &[
+    "payment",
+    "invoice",
+    "account",
+    "password",
+    "meeting",
+    "report",
+    "wire",
+    "transfer",
+    "lunch",
+    "bitcoin",
+    "zzzunseen",
+];
+
+fn vocab_text(idxs: &[usize]) -> String {
+    idxs.iter()
+        .map(|&i| VOCAB[i % VOCAB.len()])
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// The naive reference: an email matches iff it contains every distinct
+/// query term; rank newest-first with the id as tie-break. This is
+/// exactly what the pre-optimization clone-every-posting-set
+/// `SearchIndex::search` computed.
+fn naive_search(emails: &[Email], query: &str) -> Vec<EmailId> {
+    let terms: Vec<String> = query
+        .split(|c: char| !c.is_ascii_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_lowercase())
+        .collect();
+    if terms.is_empty() {
+        return Vec::new();
+    }
+    let mut hits: Vec<EmailId> = emails
+        .iter()
+        .filter(|e| {
+            let text = format!("{}\n{}", e.subject, e.body).to_lowercase();
+            let words: std::collections::HashSet<&str> = text
+                .split(|c: char| !c.is_ascii_alphanumeric())
+                .filter(|t| !t.is_empty())
+                .collect();
+            terms.iter().all(|t| words.contains(t.as_str()))
+        })
+        .map(|e| e.id)
+        .collect();
+    hits.sort_by_key(|&id| {
+        let ts = emails
+            .iter()
+            .find(|e| e.id == id)
+            .map(|e| e.timestamp)
+            .unwrap_or(MailTime(i64::MIN));
+        (std::cmp::Reverse(ts), id)
+    });
+    hits
+}
+
+proptest! {
+    /// The smallest-first probing intersection in `SearchIndex::search`
+    /// agrees with the naive scan-every-email reference on arbitrary
+    /// mailboxes and queries (including repeated terms, case changes,
+    /// punctuation, and terms no email contains).
+    #[test]
+    fn optimized_search_matches_naive_reference(
+        specs in proptest::collection::vec(
+            (proptest::collection::vec(0usize..VOCAB.len(), 0..6),
+             proptest::collection::vec(0usize..VOCAB.len(), 0..12),
+             -500i64..500),
+            0..25,
+        ),
+        queries in proptest::collection::vec(
+            proptest::collection::vec(0usize..VOCAB.len() + 2, 0..4),
+            1..8,
+        ),
+    ) {
+        let emails: Vec<Email> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, (subj, body, ts))| Email {
+                id: EmailId(i as u64),
+                from: "a@x".into(),
+                to: vec!["b@x".into()],
+                subject: vocab_text(subj),
+                body: vocab_text(body),
+                timestamp: MailTime(*ts),
+            })
+            .collect();
+        let mut mb = Mailbox::new();
+        for e in &emails {
+            mb.deliver(e.clone());
+        }
+        let mut idx = pwnd_webmail::search::SearchIndex::build(&mb);
+        for (qi, q) in queries.iter().enumerate() {
+            // Indexes past VOCAB map to an unindexed word; odd slots get
+            // uppercase + punctuation noise to exercise normalization.
+            let mut words: Vec<String> = q
+                .iter()
+                .map(|&i| VOCAB.get(i).copied().unwrap_or("neverwritten").to_string())
+                .collect();
+            if qi % 2 == 1 {
+                words = words.iter().map(|w| w.to_uppercase()).collect();
+            }
+            let query = words.join(if qi % 3 == 0 { " " } else { ", " });
+            let got = idx.search(&query, SimTime::from_secs(qi as u64));
+            let want = naive_search(&emails, &query);
+            prop_assert_eq!(got, want, "query {:?}", query);
+        }
+    }
+}

@@ -4,16 +4,17 @@
 //! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys] [--profile] [--faults NAME]
 //! pwnd trace   [--seed N] [--quick] [--trace-out FILE]
 //! pwnd export  [--seed N] [--out FILE]
-//! pwnd sweep   [--seeds N] [--seed BASE]
-//! pwnd chaos   [--seed N] [--quick] [--faults NAME]
+//! pwnd sweep   [--seeds N] [--seed BASE] [--jobs N] [--profile]
+//! pwnd chaos   [--seed N] [--quick] [--faults NAME] [--jobs N] [--profile]
+//! pwnd bench   [--json FILE] [--reps N] [--jobs N]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
 //! pwnd lint    [--deny] [--json]
 //! ```
 
-use pwnd::analysis::tables::overview;
+use pwnd::cli;
 use pwnd::telemetry::{Table, TelemetrySink};
-use pwnd::{Experiment, ExperimentConfig, FaultProfile};
+use pwnd::{Experiment, ExperimentConfig, FaultProfile, Runner};
 use std::process::ExitCode;
 
 const USAGE: &str = "\
@@ -25,6 +26,7 @@ commands:
   export   write the censored dataset as JSON
   sweep    headline stats across consecutive seeds
   chaos    data-loss ablation: sweep fault-rate factors over one seed
+  bench    perf baseline: run the benchmark workloads, report median/min
   leaks    the leak plan actually executed
   truth    ground-truth vs observed audit
   lint     run the determinism & invariant linter over the workspace
@@ -36,12 +38,17 @@ flags:
   --decoys         seed decoy documents into every mailbox
   --faults NAME    fault profile: none | light | heavy (default none);
                    for chaos, the profile whose rates are scaled (default heavy)
-  --profile        (run) print phase timings and the metrics summary
+  --profile        (run) print phase timings and the metrics summary;
+                   (sweep/chaos) print the runner speedup breakdown too
+  --jobs N         (sweep/chaos/bench) worker threads (default: all cores);
+                   --jobs 1 is the sequential path, output is identical
   --out FILE       (export) output path (default dataset.json)
   --trace-out FILE (trace) write the JSONL trace here instead of stdout
   --seeds N        (sweep) number of seeds (default 8)
+  --reps N         (bench) repetitions per workload (default 5)
   --deny           (lint) exit nonzero when any finding survives suppression
-  --json           (lint) emit the machine-readable report
+  --json           (lint) emit the machine-readable report;
+                   (bench) takes a FILE argument and writes the JSON there
   -h, --help       print this help";
 
 struct Args {
@@ -56,12 +63,15 @@ struct Args {
     faults: Option<FaultProfile>,
     deny: bool,
     json: bool,
+    json_out: Option<String>,
+    jobs: usize,
+    reps: u32,
 }
 
 enum Cli {
     Help,
     Invalid,
-    Command(String, Args),
+    Command(String, Box<Args>),
 }
 
 fn parse(mut argv: std::env::Args) -> Cli {
@@ -84,6 +94,11 @@ fn parse(mut argv: std::env::Args) -> Cli {
         faults: None,
         deny: false,
         json: false,
+        json_out: None,
+        jobs: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        reps: 5,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -129,6 +144,20 @@ fn parse(mut argv: std::env::Args) -> Cli {
                 args.seeds = v;
                 i += 2;
             }
+            "--jobs" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.jobs = v;
+                i += 2;
+            }
+            "--reps" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.reps = v;
+                i += 2;
+            }
             "--quick" => {
                 args.quick = true;
                 i += 1;
@@ -150,8 +179,18 @@ fn parse(mut argv: std::env::Args) -> Cli {
                 i += 1;
             }
             "--json" => {
-                args.json = true;
-                i += 1;
+                // For bench, --json names the output file; everywhere
+                // else it is a boolean switch.
+                if command == "bench" {
+                    let Some(v) = rest.get(i + 1) else {
+                        return Cli::Invalid;
+                    };
+                    args.json_out = Some(v.clone());
+                    i += 2;
+                } else {
+                    args.json = true;
+                    i += 1;
+                }
             }
             other => {
                 eprintln!("unknown flag: {other}");
@@ -159,7 +198,7 @@ fn parse(mut argv: std::env::Args) -> Cli {
             }
         }
     }
-    Cli::Command(command, args)
+    Cli::Command(command, Box::new(args))
 }
 
 fn config_of(a: &Args) -> ExperimentConfig {
@@ -242,71 +281,50 @@ fn main() -> ExitCode {
             );
         }
         "sweep" => {
-            let mut table = Table::new(&[
-                "seed", "accesses", "opened", "sent", "blocked", "hijacked", "accounts",
-            ])
-            .numeric();
-            for s in 0..args.seeds {
-                let mut cfg = config_of(&args);
-                cfg.seed = args.seed + s;
-                let out = Experiment::new(cfg).run();
-                let ov = overview(&out.dataset);
-                table.row([
-                    (args.seed + s).to_string(),
-                    ov.total_accesses.to_string(),
-                    ov.emails_opened.to_string(),
-                    ov.emails_sent.to_string(),
-                    ov.accounts_blocked.to_string(),
-                    ov.accounts_hijacked.to_string(),
-                    ov.accounts_accessed.to_string(),
-                ]);
-            }
-            print!("{}", table.render());
+            // Configs are built once up front, then the whole batch goes
+            // through the parallel runner. Outputs come back in
+            // submission order, so this output is byte-identical for any
+            // --jobs value (tests/parallel_runner.rs proves it).
+            let configs = cli::sweep_configs(&config_of(&args), args.seeds);
+            let batch = Runner::new(args.jobs)
+                .with_telemetry(args.profile)
+                .run_all(configs);
+            print!("{}", cli::sweep_table(&batch.outputs, args.seed));
             println!(
                 "paper: 326 accesses, 147 opened, 845 sent, 42 blocked, 36 hijacked, 90 accounts"
             );
+            if args.profile {
+                print!("{}", cli::batch_profile_report(&batch));
+            }
         }
         "chaos" => {
             // Ablation: scale one fault profile's rates and chart how much
             // of the observation the pipeline loses. Deterministic for a
             // fixed seed — CI runs it twice and diffs the output.
             let base = args.faults.clone().unwrap_or_else(FaultProfile::heavy);
-            let mut table = Table::new(&[
-                "factor", "accesses", "lost", "dups", "gaps", "mean cov", "min cov",
-            ])
-            .numeric();
-            for factor in [0.0, 0.25, 0.5, 1.0] {
-                let mut cfg = config_of(&args);
-                cfg.faults.profile = base.scaled(factor);
-                cfg.faults.confirm_failures = 3;
-                let out = Experiment::new(cfg).run();
-                let gt = &out.ground_truth;
-                let covs: Vec<f64> = out
-                    .dataset
-                    .accounts
-                    .iter()
-                    .filter_map(|a| a.coverage)
-                    .collect();
-                let (mean, min) = if covs.is_empty() {
-                    (1.0, 1.0)
-                } else {
-                    (
-                        covs.iter().sum::<f64>() / covs.len() as f64,
-                        covs.iter().copied().fold(f64::INFINITY, f64::min),
-                    )
-                };
-                table.row([
-                    format!("{factor:.2}"),
-                    out.dataset.accesses.len().to_string(),
-                    gt.notifications_lost.to_string(),
-                    gt.duplicate_notifications.to_string(),
-                    gt.monitoring_gaps.to_string(),
-                    format!("{mean:.4}"),
-                    format!("{min:.4}"),
-                ]);
-            }
-            print!("{}", table.render());
+            let configs = cli::chaos_configs(&config_of(&args), &base);
+            let batch = Runner::new(args.jobs)
+                .with_telemetry(args.profile)
+                .run_all(configs);
+            print!("{}", cli::chaos_table(&batch.outputs));
             println!("factor 0.00 injects nothing; rates scale linearly up to the profile's own.");
+            if args.profile {
+                print!("{}", cli::batch_profile_report(&batch));
+            }
+        }
+        "bench" => {
+            let report = cli::bench_report(args.reps, args.jobs);
+            let json = report.pretty();
+            match &args.json_out {
+                Some(path) => {
+                    if std::fs::write(path, format!("{json}\n")).is_err() {
+                        eprintln!("cannot write {path}");
+                        return ExitCode::FAILURE;
+                    }
+                    eprintln!("wrote {path}");
+                }
+                None => println!("{json}"),
+            }
         }
         "leaks" => {
             let out = Experiment::new(config_of(&args)).run();

@@ -1,0 +1,370 @@
+//! Shared plumbing behind the `pwnd` subcommands.
+//!
+//! The sweep and chaos commands build their whole config batch up
+//! front, submit it through the parallel [`Runner`], and render the
+//! table from the ordered outputs — so the byte-identity of `--jobs 1`
+//! vs `--jobs N` output is a property of *this* code, testable without
+//! spawning the binary (see `tests/parallel_runner.rs`). The bench
+//! harness lives here too: it derives every timing from telemetry
+//! spans, keeping the host clock out of reach of the deterministic
+//! crates (and of this one — the lint gate holds `src/` to the same
+//! wall-clock ban).
+
+use pwnd_analysis::tables::overview;
+use pwnd_core::{Batch, Experiment, ExperimentConfig, RunOutput, Runner};
+use pwnd_corpus::archetype::Archetype;
+use pwnd_corpus::generator::CorpusGenerator;
+use pwnd_corpus::persona::PersonaFactory;
+use pwnd_faults::FaultProfile;
+use pwnd_sim::{Rng, SimTime};
+use pwnd_telemetry::{Json, PhaseSummary, Table, TelemetrySink};
+use pwnd_webmail::mailbox::Mailbox;
+use pwnd_webmail::search::SearchIndex;
+use std::time::Duration;
+
+/// The fault-rate scale factors the chaos ablation sweeps.
+pub const CHAOS_FACTORS: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+
+/// The config batch behind `pwnd sweep`: consecutive seeds from the
+/// base config's own seed.
+pub fn sweep_configs(base: &ExperimentConfig, seeds: u64) -> Vec<ExperimentConfig> {
+    (0..seeds)
+        .map(|s| {
+            let mut cfg = base.clone();
+            cfg.seed = base.seed + s;
+            cfg
+        })
+        .collect()
+}
+
+/// The config batch behind `pwnd chaos`: one run per scale factor of
+/// `profile`'s fault rates, with confirmed classification so flakes
+/// cannot mislabel an account.
+pub fn chaos_configs(base: &ExperimentConfig, profile: &FaultProfile) -> Vec<ExperimentConfig> {
+    CHAOS_FACTORS
+        .iter()
+        .map(|&factor| {
+            let mut cfg = base.clone();
+            cfg.faults.profile = profile.scaled(factor);
+            cfg.faults.confirm_failures = 3;
+            cfg
+        })
+        .collect()
+}
+
+/// Render the sweep table from a batch's ordered outputs.
+pub fn sweep_table(outputs: &[RunOutput], base_seed: u64) -> String {
+    let mut table = Table::new(&[
+        "seed", "accesses", "opened", "sent", "blocked", "hijacked", "accounts",
+    ])
+    .numeric();
+    for (i, out) in outputs.iter().enumerate() {
+        let ov = overview(&out.dataset);
+        table.row([
+            (base_seed + i as u64).to_string(),
+            ov.total_accesses.to_string(),
+            ov.emails_opened.to_string(),
+            ov.emails_sent.to_string(),
+            ov.accounts_blocked.to_string(),
+            ov.accounts_hijacked.to_string(),
+            ov.accounts_accessed.to_string(),
+        ]);
+    }
+    table.render()
+}
+
+/// Render the chaos data-loss table from a batch's ordered outputs
+/// (one per entry of [`CHAOS_FACTORS`]).
+pub fn chaos_table(outputs: &[RunOutput]) -> String {
+    let mut table = Table::new(&[
+        "factor", "accesses", "lost", "dups", "gaps", "mean cov", "min cov",
+    ])
+    .numeric();
+    for (&factor, out) in CHAOS_FACTORS.iter().zip(outputs) {
+        let gt = &out.ground_truth;
+        let covs: Vec<f64> = out
+            .dataset
+            .accounts
+            .iter()
+            .filter_map(|a| a.coverage)
+            .collect();
+        let (mean, min) = if covs.is_empty() {
+            (1.0, 1.0)
+        } else {
+            (
+                covs.iter().sum::<f64>() / covs.len() as f64,
+                covs.iter().copied().fold(f64::INFINITY, f64::min),
+            )
+        };
+        table.row([
+            format!("{factor:.2}"),
+            out.dataset.accesses.len().to_string(),
+            gt.notifications_lost.to_string(),
+            gt.duplicate_notifications.to_string(),
+            gt.monitoring_gaps.to_string(),
+            format!("{mean:.4}"),
+            format!("{min:.4}"),
+        ]);
+    }
+    table.render()
+}
+
+/// The `--profile` breakdown for a batch: the runner's speedup summary
+/// followed by the merged telemetry report.
+pub fn batch_profile_report(batch: &Batch) -> String {
+    let mut out = String::new();
+    if let Some(profile) = batch.profile() {
+        out.push_str(&profile.render());
+    }
+    out.push_str(&batch.telemetry.render());
+    out
+}
+
+// ---- the `pwnd bench` harness -----------------------------------------
+
+/// Wall time of one closure, read back through a telemetry span (the
+/// only sanctioned clock in the workspace).
+fn timed(f: impl FnOnce()) -> Duration {
+    let sink = TelemetrySink::enabled();
+    {
+        let _span = sink.span("workload");
+        f();
+    }
+    sink.report()
+        .phases
+        .iter()
+        .find(|p| p.name == "workload")
+        .map(|p| p.total)
+        .unwrap_or_default()
+}
+
+/// One instrumented experiment run: total wall time plus the run's own
+/// phase spans (corpus, leaks, event-loop, scrape, dataset, …).
+fn timed_run(cfg: ExperimentConfig) -> Vec<PhaseSummary> {
+    let sink = TelemetrySink::enabled();
+    {
+        let _total = sink.span("total");
+        let _ = Experiment::new(cfg).with_telemetry(sink.clone()).run();
+    }
+    sink.report().phases
+}
+
+/// A 300-message corporate mailbox for the search microbenches, built
+/// from the same corpus generator the experiment uses.
+fn search_fixture() -> Mailbox {
+    let mut rng = Rng::seed_from(7);
+    let mut factory = PersonaFactory::new();
+    let peers = factory.generate_batch(12, |_| None, &mut rng);
+    let persona = factory.generate(None, &mut rng);
+    let mut generator = CorpusGenerator::with_archetype(Archetype::CorporateEmployee);
+    let emails = generator.generate_mailbox(&persona, &peers, 300, 300, &mut rng);
+    let mut mailbox = Mailbox::new();
+    for e in emails {
+        mailbox.deliver(e);
+    }
+    mailbox
+}
+
+/// The query mix gold diggers run (§4.3): single common terms,
+/// multi-term conjunctions, and a guaranteed miss for the short-circuit
+/// path.
+const HOT_QUERIES: &[&str] = &[
+    "payment",
+    "password",
+    "bank account",
+    "wire transfer invoice",
+    "bitcoin wallet seed",
+];
+
+fn median(mut xs: Vec<Duration>) -> Duration {
+    xs.sort_unstable();
+    let n = xs.len();
+    if n == 0 {
+        Duration::ZERO
+    } else if n % 2 == 1 {
+        xs[n / 2]
+    } else {
+        (xs[n / 2 - 1] + xs[n / 2]) / 2
+    }
+}
+
+fn ms(d: Duration) -> Json {
+    Json::F(d.as_secs_f64() * 1e3)
+}
+
+struct WorkloadStats {
+    name: &'static str,
+    samples: Vec<Duration>,
+    /// Per-phase samples across reps, in first-appearance order.
+    phases: Vec<(String, Vec<Duration>)>,
+}
+
+impl WorkloadStats {
+    fn new(name: &'static str) -> WorkloadStats {
+        WorkloadStats {
+            name,
+            samples: Vec::new(),
+            phases: Vec::new(),
+        }
+    }
+
+    fn push_phases(&mut self, phases: &[PhaseSummary]) {
+        for p in phases {
+            match self.phases.iter_mut().find(|(n, _)| *n == p.name) {
+                Some((_, v)) => v.push(p.total),
+                None => self.phases.push((p.name.clone(), vec![p.total])),
+            }
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("name".to_string(), Json::Str(self.name.to_string())),
+            ("median_ms".to_string(), ms(median(self.samples.clone()))),
+            (
+                "min_ms".to_string(),
+                ms(self.samples.iter().copied().min().unwrap_or_default()),
+            ),
+        ];
+        if !self.phases.is_empty() {
+            let phases: Vec<Json> = self
+                .phases
+                .iter()
+                .map(|(name, v)| {
+                    Json::Obj(vec![
+                        ("name".to_string(), Json::Str(name.clone())),
+                        ("median_ms".to_string(), ms(median(v.clone()))),
+                        (
+                            "min_ms".to_string(),
+                            ms(v.iter().copied().min().unwrap_or_default()),
+                        ),
+                    ])
+                })
+                .collect();
+            fields.push(("phases".to_string(), Json::Arr(phases)));
+        }
+        Json::Obj(fields)
+    }
+}
+
+/// Run the perf-baseline workloads `reps` times each and report
+/// median/min wall-clock per workload (and per phase, where the
+/// workload is an instrumented experiment). The parallel sweep pair
+/// uses `jobs` workers, recording the machine's speedup alongside the
+/// absolute numbers.
+pub fn bench_report(reps: u32, jobs: usize) -> Json {
+    let reps = reps.max(1);
+    let mut workloads = Vec::new();
+
+    let mut quick = WorkloadStats::new("end_to_end_quick");
+    let mut paper = WorkloadStats::new("end_to_end_paper");
+    for (stats, cfg) in [
+        (&mut quick, ExperimentConfig::quick(1)),
+        (&mut paper, ExperimentConfig::paper(1)),
+    ] {
+        for _ in 0..reps {
+            let phases = timed_run(cfg.clone());
+            stats.samples.push(
+                phases
+                    .iter()
+                    .find(|p| p.name == "total")
+                    .map(|p| p.total)
+                    .unwrap_or_default(),
+            );
+            stats.push_phases(&phases);
+        }
+        workloads.push(stats.to_json());
+    }
+
+    for (name, n_jobs) in [
+        ("sweep_quick_8seeds_jobs1", 1),
+        ("sweep_quick_8seeds_jobsN", jobs),
+    ] {
+        let mut stats = WorkloadStats::new(name);
+        for _ in 0..reps {
+            stats.samples.push(timed(|| {
+                let _ = Runner::new(n_jobs).run_all(sweep_configs(&ExperimentConfig::quick(1), 8));
+            }));
+        }
+        workloads.push(stats.to_json());
+    }
+
+    let mailbox = search_fixture();
+    let mut build = WorkloadStats::new("search_build_300_emails");
+    for _ in 0..reps {
+        let mut built = None;
+        build
+            .samples
+            .push(timed(|| built = Some(SearchIndex::build(&mailbox))));
+        drop(built);
+    }
+    workloads.push(build.to_json());
+
+    let mut query = WorkloadStats::new("search_hot_queries_x2000");
+    let mut index = SearchIndex::build(&mailbox);
+    for _ in 0..reps {
+        query.samples.push(timed(|| {
+            for round in 0..2_000u64 {
+                for q in HOT_QUERIES {
+                    let _ = index.search(q, SimTime::from_secs(round));
+                }
+            }
+        }));
+        index = SearchIndex::build(&mailbox); // fresh query log per rep
+    }
+    workloads.push(query.to_json());
+
+    Json::Obj(vec![
+        ("schema".to_string(), Json::Str("pwnd-bench/1".to_string())),
+        ("reps".to_string(), Json::U(u64::from(reps))),
+        ("jobs".to_string(), Json::U(jobs as u64)),
+        ("workloads".to_string(), Json::Arr(workloads)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_and_chaos_configs_are_built_up_front() {
+        let base = ExperimentConfig::quick(100);
+        let sweep = sweep_configs(&base, 3);
+        assert_eq!(
+            sweep.iter().map(|c| c.seed).collect::<Vec<_>>(),
+            vec![100, 101, 102]
+        );
+        let chaos = chaos_configs(&base, &FaultProfile::heavy());
+        assert_eq!(chaos.len(), CHAOS_FACTORS.len());
+        assert!(chaos.iter().all(|c| c.faults.confirm_failures == 3));
+        assert!(
+            chaos[0].faults.profile.is_none(),
+            "factor 0 injects nothing"
+        );
+    }
+
+    #[test]
+    fn median_is_robust_to_order() {
+        let d = |n| Duration::from_millis(n);
+        assert_eq!(median(vec![d(5), d(1), d(9)]), d(5));
+        assert_eq!(median(vec![d(4), d(2)]), d(3));
+        assert_eq!(median(Vec::new()), Duration::ZERO);
+    }
+
+    #[test]
+    fn bench_report_shape() {
+        let report = bench_report(1, 2);
+        let workloads = report.get("workloads").and_then(Json::as_array).unwrap();
+        assert!(workloads.len() >= 6);
+        for w in workloads {
+            assert!(w.get("median_ms").and_then(Json::as_f64).is_some());
+            assert!(w.get("min_ms").and_then(Json::as_f64).is_some());
+        }
+        // The experiment workloads expose their internal phases.
+        let quick = &workloads[0];
+        let phases = quick.get("phases").and_then(Json::as_array).unwrap();
+        assert!(phases
+            .iter()
+            .any(|p| { p.get("name").and_then(Json::as_str) == Some("event-loop") }));
+    }
+}

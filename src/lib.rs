@@ -35,6 +35,8 @@
 //! println!("{}", output.analysis().render());
 //! ```
 
+pub mod cli;
+
 pub use pwnd_analysis as analysis;
 pub use pwnd_attacker as attacker;
 pub use pwnd_core as core;
@@ -48,5 +50,7 @@ pub use pwnd_sim as sim;
 pub use pwnd_telemetry as telemetry;
 pub use pwnd_webmail as webmail;
 
-pub use pwnd_core::{Experiment, ExperimentConfig, GroundTruth, RunOutput};
+pub use pwnd_core::{
+    Batch, BatchProfile, Experiment, ExperimentConfig, GroundTruth, RunOutput, Runner,
+};
 pub use pwnd_faults::{FaultProfile, RetryPolicy};
