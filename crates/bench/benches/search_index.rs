@@ -11,6 +11,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use pwnd_corpus::archetype::Archetype;
 use pwnd_corpus::generator::CorpusGenerator;
 use pwnd_corpus::persona::PersonaFactory;
+use pwnd_sim::intern::Interner;
 use pwnd_sim::{Rng, SimTime};
 use pwnd_webmail::mailbox::Mailbox;
 use pwnd_webmail::search::SearchIndex;
@@ -34,10 +35,14 @@ fn bench(c: &mut Criterion) {
     let mailbox = fixture_mailbox();
 
     c.bench_function("webmail/search_index_build_300", |b| {
-        b.iter(|| SearchIndex::build(black_box(&mailbox)))
+        b.iter(|| {
+            let mut vocab = Interner::new();
+            SearchIndex::build(black_box(&mailbox), &mut vocab)
+        })
     });
 
-    let mut idx = SearchIndex::build(&mailbox);
+    let mut vocab = Interner::new();
+    let mut idx = SearchIndex::build(&mailbox, &mut vocab);
     let mut t = 0u64;
     let mut at = move || {
         t += 1;
@@ -45,17 +50,17 @@ fn bench(c: &mut Criterion) {
     };
 
     c.bench_function("webmail/search_single_common_term", |b| {
-        b.iter(|| black_box(idx.search("payment", at())))
+        b.iter(|| black_box(idx.search(&vocab, "payment", at())))
     });
 
-    let mut idx = SearchIndex::build(&mailbox);
+    let mut idx = SearchIndex::build(&mailbox, &mut vocab);
     c.bench_function("webmail/search_multi_term_conjunction", |b| {
-        b.iter(|| black_box(idx.search("wire transfer invoice payment", at())))
+        b.iter(|| black_box(idx.search(&vocab, "wire transfer invoice payment", at())))
     });
 
-    let mut idx = SearchIndex::build(&mailbox);
+    let mut idx = SearchIndex::build(&mailbox, &mut vocab);
     c.bench_function("webmail/search_missing_term_short_circuit", |b| {
-        b.iter(|| black_box(idx.search("payment zzzunindexed", at())))
+        b.iter(|| black_box(idx.search(&vocab, "payment zzzunindexed", at())))
     });
 }
 

@@ -33,6 +33,20 @@ impl Default for FaultSettings {
 }
 
 /// Everything tunable about one experiment run.
+///
+/// The two presets cover nearly every use: [`ExperimentConfig::paper`]
+/// reproduces the published deployment, [`ExperimentConfig::quick`]
+/// shrinks it for tests and fleet shards. A config plus a seed is the
+/// *entire* input of a run — two runs with equal configs produce
+/// byte-identical datasets.
+///
+/// ```
+/// use pwnd_core::ExperimentConfig;
+///
+/// let cfg = ExperimentConfig::quick(2016);
+/// assert_eq!(cfg.seed, 2016);
+/// assert_eq!(cfg.plan.total_accounts(), 100);
+/// ```
 #[derive(Clone, Debug)]
 pub struct ExperimentConfig {
     /// Master seed; every random stream forks from it.

@@ -373,6 +373,13 @@ impl Experiment {
         let dataset: Dataset = builder.build();
         drop(span);
 
+        // Peak-state accounting for the fleet engine: interned webmail
+        // state plus the built dataset, bytes counted from the
+        // collections themselves — never the OS or the wall clock.
+        let rss_proxy_bytes = (service.interned_state_bytes() + dataset.heap_bytes()) as u64;
+        self.telemetry
+            .gauge_max("experiment.rss_proxy_bytes", rss_proxy_bytes);
+
         RunOutput {
             dataset,
             ground_truth,
@@ -381,6 +388,7 @@ impl Experiment {
             extra_stopwords,
             blacklist,
             telemetry: self.telemetry.clone(),
+            rss_proxy_bytes,
         }
     }
 

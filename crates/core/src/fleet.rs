@@ -1,0 +1,291 @@
+//! The fleet engine: one logical experiment sharded across the runner.
+//!
+//! The paper deployed 100 honey accounts; the fleet engine scales that
+//! *population* — `pwnd fleet --accounts 20000` — by sharding it into
+//! paper-sized sub-experiments, executing the shards on the PR 4
+//! [`Runner`] worker pool, and merging the per-shard datasets and
+//! telemetry into one fleet-wide view with globally re-numbered account
+//! ids.
+//!
+//! ## Determinism
+//!
+//! Shard `i` runs `ExperimentConfig` derived purely from
+//! `(fleet seed, i)` with a [`LeakPlan::scaled`] plan sized to the
+//! shard, so the shard population is a pure function of the fleet
+//! config. The runner parks shard outputs in submission order whatever
+//! the schedule, and the merge walks shards in index order — the merged
+//! dataset and every table are byte-identical for any `--jobs` count
+//! (`tests/fleet_scale.rs` proves it).
+//!
+//! ## Memory
+//!
+//! Shards are mapped in-worker ([`Runner::run_map`]) down to their
+//! dataset plus byte accounting; the corpus text and ground truth never
+//! survive the worker. `fleet.peak_rss_proxy` reports the high-water
+//! per-shard resident state (interner + collections, counted from the
+//! data structures — the wall clock and the OS are never consulted),
+//! and the merged export can stream as JSONL via
+//! [`FleetOutput::write_jsonl`] without re-materializing the JSON text.
+
+use crate::config::ExperimentConfig;
+use crate::runner::Runner;
+use pwnd_leak::plan::LeakPlan;
+use pwnd_monitor::dataset::Dataset;
+use pwnd_monitor::export::DatasetWriter;
+use pwnd_telemetry::{Table, TelemetryReport, TelemetrySink};
+use std::io::{self, Write};
+
+/// Accounts per shard: the paper's deployment size, which keeps every
+/// shard's calibration (Table 1 proportions, signup rate limits,
+/// scraper load) at the scale the constants were tuned for.
+pub const SHARD_ACCOUNTS: u32 = 100;
+
+/// Configuration of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetConfig {
+    /// Master seed; shard `i` derives its seed as `seed + i`.
+    pub seed: u64,
+    /// Total honey-account population across all shards.
+    pub accounts: u32,
+    /// Runner worker threads.
+    pub jobs: usize,
+    /// Collect per-shard telemetry and merge it (adds the `runner.*`
+    /// series and phases; the `fleet.*` gauges are always recorded).
+    pub telemetry: bool,
+}
+
+impl FleetConfig {
+    /// A fleet of `accounts` honey accounts on `jobs` workers.
+    pub fn new(seed: u64, accounts: u32, jobs: usize) -> FleetConfig {
+        FleetConfig {
+            seed,
+            accounts,
+            jobs,
+            telemetry: false,
+        }
+    }
+
+    /// Enable per-shard telemetry merging.
+    pub fn with_telemetry(mut self, enabled: bool) -> FleetConfig {
+        self.telemetry = enabled;
+        self
+    }
+
+    /// Shard sizes, in shard order: full [`SHARD_ACCOUNTS`] shards plus
+    /// one tail shard for the remainder.
+    pub fn shard_sizes(&self) -> Vec<u32> {
+        let full = self.accounts / SHARD_ACCOUNTS;
+        let tail = self.accounts % SHARD_ACCOUNTS;
+        let mut sizes = vec![SHARD_ACCOUNTS; full as usize];
+        if tail > 0 {
+            sizes.push(tail);
+        }
+        sizes
+    }
+
+    /// The derived config for shard `index` of `size` accounts: the
+    /// quick per-account profile (fleet scale trades per-account email
+    /// volume for population size) with a proportionally scaled Table 1
+    /// leak plan.
+    pub fn shard_config(&self, index: usize, size: u32) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::quick(self.seed.wrapping_add(index as u64));
+        cfg.plan = LeakPlan::scaled(size as usize);
+        cfg
+    }
+}
+
+/// What one shard contributes to the merge: its censored dataset and
+/// its peak-state byte accounting. Everything else a run produces is
+/// dropped inside the worker.
+struct ShardResult {
+    dataset: Dataset,
+    rss_proxy_bytes: u64,
+}
+
+/// The merged result of a fleet run.
+pub struct FleetOutput {
+    /// The fleet-wide censored dataset, account ids re-numbered
+    /// globally (shard `i` occupies ids `[i * 100, i * 100 + size)`).
+    pub dataset: Dataset,
+    /// Merged telemetry: per-shard reports (when enabled) plus the
+    /// always-on `fleet.*` gauges.
+    pub telemetry: TelemetryReport,
+    /// Total honey accounts simulated.
+    pub accounts: u32,
+    /// Shards the population was split into.
+    pub shards: usize,
+    /// Worker threads the shards ran across.
+    pub jobs: usize,
+    /// High-water per-shard resident state, in bytes (interned webmail
+    /// state + built dataset, from collection accounting).
+    pub peak_rss_proxy: u64,
+}
+
+impl FleetOutput {
+    /// Export the merged dataset as pretty JSON (same format as a
+    /// single run's [`RunOutput::dataset_json`](crate::RunOutput::dataset_json)).
+    pub fn dataset_json(&self) -> String {
+        self.dataset.to_json()
+    }
+
+    /// Stream the merged dataset as JSON Lines into `out`, one record
+    /// per line, returning the number of records written. Peak memory
+    /// is one record — this is the export path for 100k-account fleets.
+    pub fn write_jsonl<W: Write>(&self, out: W) -> io::Result<u64> {
+        let mut writer = DatasetWriter::new(out);
+        writer.write_dataset(&self.dataset)?;
+        let written = writer.records_written();
+        writer.finish()?;
+        Ok(written)
+    }
+
+    /// The fleet summary table: population, shard layout, access and
+    /// detection totals, and the peak-state byte accounting.
+    pub fn summary_table(&self) -> Table {
+        let hijacks = self
+            .dataset
+            .accounts
+            .iter()
+            .filter(|a| a.hijack_detected_secs.is_some())
+            .count();
+        let blocks = self
+            .dataset
+            .accounts
+            .iter()
+            .filter(|a| a.block_detected_secs.is_some())
+            .count();
+        let opened: u64 = self
+            .dataset
+            .accesses
+            .iter()
+            .map(|a| u64::from(a.opened))
+            .sum();
+        let mut t = Table::new(&["fleet metric", "value"]).numeric();
+        t.row(["accounts", &self.accounts.to_string()]);
+        t.row(["shards", &self.shards.to_string()]);
+        t.row(["jobs", &self.jobs.to_string()]);
+        t.row(["unique accesses", &self.dataset.accesses.len().to_string()]);
+        t.row([
+            "accounts accessed",
+            &self.dataset.accounts_with_accesses().to_string(),
+        ]);
+        t.row(["emails opened", &opened.to_string()]);
+        t.row(["hijacks detected", &hijacks.to_string()]);
+        t.row(["blocks detected", &blocks.to_string()]);
+        t.row(["peak shard state (bytes)", &self.peak_rss_proxy.to_string()]);
+        t.row([
+            "merged dataset (bytes)",
+            &self.dataset.heap_bytes().to_string(),
+        ]);
+        t
+    }
+}
+
+/// Run a whole fleet: shard the population, execute the shards on the
+/// runner, merge datasets and telemetry deterministically.
+pub fn run_fleet(cfg: &FleetConfig) -> FleetOutput {
+    let sizes = cfg.shard_sizes();
+    let configs: Vec<ExperimentConfig> = sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &size)| cfg.shard_config(i, size))
+        .collect();
+
+    let runner = Runner::new(cfg.jobs).with_telemetry(cfg.telemetry);
+    let batch = runner.run_map(configs, |output| ShardResult {
+        rss_proxy_bytes: output.rss_proxy_bytes,
+        dataset: output.dataset,
+    });
+
+    // Merge in shard (submission) order, re-numbering account ids into
+    // disjoint global ranges.
+    let fleet_sink = TelemetrySink::enabled();
+    let mut dataset = Dataset::default();
+    let mut peak = 0u64;
+    for (i, shard) in batch.outputs.into_iter().enumerate() {
+        let base = (i as u32) * SHARD_ACCOUNTS;
+        peak = peak.max(shard.rss_proxy_bytes);
+        for mut a in shard.dataset.accesses {
+            a.account += base;
+            dataset.accesses.push(a);
+        }
+        for mut a in shard.dataset.accounts {
+            a.account += base;
+            dataset.accounts.push(a);
+        }
+        dataset.opened_texts.extend(shard.dataset.opened_texts);
+        for mut g in shard.dataset.gaps {
+            g.account += base;
+            dataset.gaps.push(g);
+        }
+    }
+
+    fleet_sink.gauge_set("fleet.accounts", u64::from(cfg.accounts));
+    fleet_sink.gauge_set("fleet.shards", sizes.len() as u64);
+    fleet_sink.gauge_max("fleet.peak_rss_proxy", peak);
+    fleet_sink.gauge_max("fleet.merged_dataset_bytes", dataset.heap_bytes() as u64);
+
+    let telemetry = TelemetryReport::merge(&[batch.telemetry, fleet_sink.report()]);
+
+    FleetOutput {
+        dataset,
+        telemetry,
+        accounts: cfg.accounts,
+        shards: sizes.len(),
+        jobs: batch.jobs,
+        peak_rss_proxy: peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_sizes_cover_the_population() {
+        let c = FleetConfig::new(1, 250, 2);
+        assert_eq!(c.shard_sizes(), vec![100, 100, 50]);
+        assert_eq!(FleetConfig::new(1, 100, 1).shard_sizes(), vec![100]);
+        assert_eq!(FleetConfig::new(1, 7, 1).shard_sizes(), vec![7]);
+        assert!(FleetConfig::new(1, 0, 1).shard_sizes().is_empty());
+    }
+
+    #[test]
+    fn shard_configs_scale_the_plan_and_derive_seeds() {
+        let c = FleetConfig::new(40, 250, 2);
+        let s0 = c.shard_config(0, 100);
+        let s2 = c.shard_config(2, 50);
+        assert_eq!(s0.seed, 40);
+        assert_eq!(s2.seed, 42);
+        assert_eq!(s0.plan.total_accounts(), 100);
+        assert_eq!(s2.plan.total_accounts(), 50);
+    }
+
+    #[test]
+    fn small_fleet_merges_with_global_account_ids() {
+        let out = run_fleet(&FleetConfig::new(7, 150, 2));
+        assert_eq!(out.accounts, 150);
+        assert_eq!(out.shards, 2);
+        assert_eq!(out.dataset.accounts.len(), 150);
+        // Account ids are globally unique and shard-ranged.
+        let ids: Vec<u32> = out.dataset.accounts.iter().map(|a| a.account).collect();
+        assert_eq!(ids.len(), 150);
+        assert!(ids.iter().take(100).all(|&id| id < 100));
+        assert!(ids.iter().skip(100).all(|&id| (100..150).contains(&id)));
+        assert!(out.dataset.accesses.iter().all(|a| a.account < 150));
+        assert!(out.peak_rss_proxy > 0);
+        assert_eq!(out.telemetry.metrics.gauge("fleet.accounts"), 150);
+        assert!(out.telemetry.metrics.gauge("fleet.peak_rss_proxy") > 0);
+        let rendered = out.summary_table().render();
+        assert!(rendered.contains("accounts"));
+        assert!(rendered.contains("150"));
+    }
+
+    #[test]
+    fn fleet_dataset_is_fault_free_shaped() {
+        let out = run_fleet(&FleetConfig::new(3, 120, 2));
+        let json = out.dataset_json();
+        assert!(!json.contains("\"gaps\""));
+        assert!(!json.contains("\"coverage\""));
+    }
+}

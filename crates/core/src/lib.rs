@@ -27,10 +27,23 @@
 
 pub mod config;
 pub mod experiment;
+pub mod fleet;
 pub mod output;
 pub mod runner;
 
 pub use config::ExperimentConfig;
 pub use experiment::Experiment;
+pub use fleet::{FleetConfig, FleetOutput};
 pub use output::{GroundTruth, RunOutput};
 pub use runner::{Batch, BatchProfile, Runner};
+
+/// The deterministic string-interning arena (re-exported from
+/// [`pwnd_sim::intern`]); fleet-scale state stores [`Symbol`]s instead
+/// of owned strings.
+///
+/// ```
+/// let mut arena = pwnd_core::Interner::new();
+/// let sym = arena.intern("gold-digger");
+/// assert_eq!(arena.resolve(sym), "gold-digger");
+/// ```
+pub use pwnd_sim::intern::{Interner, Symbol};

@@ -61,6 +61,18 @@ pub struct Batch {
     pub jobs: usize,
 }
 
+/// What [`Runner::run_map`] produced: the mapped per-run values in
+/// submission order, plus the merged telemetry report. [`Batch`] is the
+/// identity-mapped special case.
+pub struct MappedBatch<T> {
+    /// One mapped value per submitted config, in submission order.
+    pub outputs: Vec<T>,
+    /// Merged telemetry (empty unless [`Runner::with_telemetry`]).
+    pub telemetry: TelemetryReport,
+    /// Worker threads the batch ran across.
+    pub jobs: usize,
+}
+
 /// Wall-clock summary of one batch, for the `--profile` breakdown.
 #[derive(Clone, Debug)]
 pub struct BatchProfile {
@@ -147,7 +159,40 @@ impl Runner {
 
     /// Run every config to completion and collect the outputs in
     /// submission order.
+    ///
+    /// ```no_run
+    /// use pwnd_core::{ExperimentConfig, Runner};
+    ///
+    /// // Four seeds across four workers; outputs come back in
+    /// // submission order, byte-identical to a sequential loop.
+    /// let configs: Vec<_> = (0..4).map(ExperimentConfig::quick).collect();
+    /// let batch = Runner::new(4).run_all(configs);
+    /// assert_eq!(batch.outputs.len(), 4);
+    /// ```
     pub fn run_all(&self, configs: Vec<ExperimentConfig>) -> Batch {
+        let mapped = self.run_map(configs, |output| output);
+        Batch {
+            outputs: mapped.outputs,
+            telemetry: mapped.telemetry,
+            jobs: mapped.jobs,
+        }
+    }
+
+    /// Run every config and transform each [`RunOutput`] *inside the
+    /// worker* before it is parked in its submission slot. The fleet
+    /// engine uses this to keep only the per-shard dataset and byte
+    /// accounting, dropping the corpus text and ground truth while the
+    /// batch is still running instead of holding every full output
+    /// until the join.
+    ///
+    /// Ordering contract is identical to [`Runner::run_all`]: `map` is
+    /// applied per run, and results land in submission order whatever
+    /// the schedule.
+    pub fn run_map<T, F>(&self, configs: Vec<ExperimentConfig>, map: F) -> MappedBatch<T>
+    where
+        T: Send,
+        F: Fn(RunOutput) -> T + Sync,
+    {
         let n = configs.len();
         let batch_sink = self.sink();
         batch_sink.gauge_set("runner.jobs", self.jobs as u64);
@@ -156,17 +201,18 @@ impl Runner {
 
         let queue: Mutex<VecDeque<(usize, ExperimentConfig)>> =
             Mutex::new(configs.into_iter().enumerate().collect());
-        let slots: Mutex<Vec<Option<RunOutput>>> = Mutex::new((0..n).map(|_| None).collect());
+        type Slot<T> = Option<(T, TelemetryReport)>;
+        let slots: Mutex<Vec<Slot<T>>> = Mutex::new((0..n).map(|_| None).collect());
 
         let workers = self.jobs.min(n.max(1));
         let worker_reports: Vec<TelemetryReport> = if workers <= 1 {
             // The sequential path: no threads, no locks contended — the
             // calling thread drains the queue exactly like a plain loop.
-            vec![self.worker_loop(&queue, &slots)]
+            vec![self.worker_loop(&queue, &slots, &map)]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| scope.spawn(|| self.worker_loop(&queue, &slots)))
+                    .map(|_| scope.spawn(|| self.worker_loop(&queue, &slots, &map)))
                     .collect();
                 handles
                     .into_iter()
@@ -176,12 +222,12 @@ impl Runner {
         };
 
         drop(batch_span);
-        let outputs: Vec<RunOutput> = slots
+        let (outputs, run_reports): (Vec<T>, Vec<TelemetryReport>) = slots
             .into_inner()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
             .into_iter()
             .map(|slot| slot.expect("every submitted run produces an output"))
-            .collect();
+            .unzip();
 
         let telemetry = if self.telemetry {
             // Merge order is pure submission order: run reports first
@@ -189,8 +235,7 @@ impl Runner {
             // worker index), then the batch-level report. Only phase
             // wall-clocks differ between schedules, and those are
             // excluded from report equality.
-            let mut reports: Vec<TelemetryReport> =
-                outputs.iter().map(RunOutput::telemetry_report).collect();
+            let mut reports = run_reports;
             reports.extend(worker_reports);
             reports.push(batch_sink.report());
             TelemetryReport::merge(&reports)
@@ -198,7 +243,7 @@ impl Runner {
             TelemetryReport::default()
         };
 
-        Batch {
+        MappedBatch {
             outputs,
             telemetry,
             jobs: workers,
@@ -213,15 +258,20 @@ impl Runner {
         }
     }
 
-    /// One worker: pull the next submitted config, run it, park the
-    /// output in its submission slot; repeat until the queue drains.
-    /// Returns the worker's runner-phase report (queue waits, per-run
-    /// wall-clock).
-    fn worker_loop(
+    /// One worker: pull the next submitted config, run it, snapshot its
+    /// telemetry, map it, park the result in its submission slot; repeat
+    /// until the queue drains. Returns the worker's runner-phase report
+    /// (queue waits, per-run wall-clock).
+    fn worker_loop<T, F>(
         &self,
         queue: &Mutex<VecDeque<(usize, ExperimentConfig)>>,
-        slots: &Mutex<Vec<Option<RunOutput>>>,
-    ) -> TelemetryReport {
+        slots: &Mutex<Vec<Option<(T, TelemetryReport)>>>,
+        map: &F,
+    ) -> TelemetryReport
+    where
+        T: Send,
+        F: Fn(RunOutput) -> T + Sync,
+    {
         let worker_sink = self.sink();
         loop {
             let next = {
@@ -237,10 +287,17 @@ impl Runner {
             let run_span = worker_sink.span("runner.run");
             let output = Experiment::new(config).with_telemetry(self.sink()).run();
             drop(run_span);
+            // Snapshot before mapping: `map` may drop the output's sink.
+            let report = if self.telemetry {
+                output.telemetry_report()
+            } else {
+                TelemetryReport::default()
+            };
+            let mapped = map(output);
             let mut slots = slots
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            slots[index] = Some(output);
+            slots[index] = Some((mapped, report));
         }
         worker_sink.report()
     }

@@ -3,6 +3,14 @@
 /// Rates and shapes for every fault kind the plan can inject. All rates
 /// are probabilities (per attempt, per notification, per account-day);
 /// window counts are expected occurrences per 30 simulated days.
+///
+/// ```
+/// use pwnd_faults::FaultProfile;
+///
+/// assert!(FaultProfile::none().is_none());        // the default: no faults
+/// let light = FaultProfile::by_name("light").unwrap();
+/// assert!(light.scaled(0.0).is_none());           // ablation endpoint
+/// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct FaultProfile {
     /// Expected whole-infrastructure scraper outages per 30 days (the

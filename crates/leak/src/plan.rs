@@ -96,6 +96,55 @@ impl LeakPlan {
         }
     }
 
+    /// The Table 1 plan scaled to `accounts` honey accounts, preserving
+    /// the paper's outlet proportions (50% paste / 30% forum / 20%
+    /// malware, location and Russian-paste splits included).
+    ///
+    /// Group sizes are apportioned by the largest-remainder method so
+    /// they always sum to exactly `accounts`; groups that round to zero
+    /// are dropped. The fleet engine uses this to build partial shards
+    /// (`accounts % shard_size` tail shards).
+    pub fn scaled(accounts: usize) -> LeakPlan {
+        let base = LeakPlan::paper();
+        let total = base.total_accounts();
+        // Integer share + remainder per Table 1 group.
+        let mut shares: Vec<(usize, usize, usize)> = base
+            .groups
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                let exact = g.count * accounts;
+                (i, exact / total, exact % total)
+            })
+            .collect();
+        let assigned: usize = shares.iter().map(|&(_, q, _)| q).sum();
+        // Hand the leftover seats to the largest remainders (ties go to
+        // the earlier Table 1 row — deterministic).
+        let mut by_rem = shares.clone();
+        by_rem.sort_by_key(|&(i, _, r)| (std::cmp::Reverse(r), i));
+        for &(i, _, _) in by_rem.iter().take(accounts - assigned) {
+            shares[i].1 += 1;
+        }
+        let groups = base
+            .groups
+            .into_iter()
+            .zip(shares)
+            .filter_map(|(g, (_, count, _))| {
+                (count > 0).then(|| LeakGroup {
+                    // Scale the Russian-paste sub-split within the group.
+                    russian_paste: if g.russian_paste > 0 {
+                        (g.russian_paste * count + g.count / 2) / g.count
+                    } else {
+                        0
+                    },
+                    count,
+                    ..g
+                })
+            })
+            .collect();
+        LeakPlan { groups }
+    }
+
     /// Total accounts across all groups.
     pub fn total_accounts(&self) -> usize {
         self.groups.iter().map(|g| g.count).sum()
@@ -186,6 +235,24 @@ mod tests {
         assert_eq!(p.groups[0].russian_paste, 10);
         assert!(!p.groups[0].with_location);
         assert!(p.groups[1].with_location);
+    }
+
+    #[test]
+    fn scaled_plan_is_exact_and_proportional() {
+        for n in [1, 7, 10, 33, 50, 100, 101, 250, 20_000] {
+            let p = LeakPlan::scaled(n);
+            assert_eq!(p.total_accounts(), n, "total for n={n}");
+            for g in &p.groups {
+                assert!(g.russian_paste <= g.count);
+            }
+        }
+        // Full scale reproduces Table 1 exactly.
+        assert_eq!(LeakPlan::scaled(100), LeakPlan::paper());
+        // Double scale doubles every row.
+        let p = LeakPlan::scaled(200);
+        let counts: Vec<usize> = p.groups.iter().map(|g| g.count).collect();
+        assert_eq!(counts, vec![60, 40, 20, 40, 40]);
+        assert_eq!(p.groups[0].russian_paste, 20);
     }
 
     #[test]

@@ -226,6 +226,31 @@ impl Dataset {
         self.accounts.iter().find(|a| a.account == account)
     }
 
+    /// Approximate heap bytes held by this dataset: record vectors plus
+    /// every owned string. Pure collection accounting (no OS calls) —
+    /// one input to the fleet engine's `fleet.peak_rss_proxy` metric.
+    pub fn heap_bytes(&self) -> usize {
+        let access_strings = |a: &ParsedAccess| {
+            a.ip.len()
+                + a.country.as_deref().map_or(0, str::len)
+                + a.city.len()
+                + a.browser.len()
+                + a.os.len()
+        };
+        self.accesses.len() * std::mem::size_of::<ParsedAccess>()
+            + self.accesses.iter().map(access_strings).sum::<usize>()
+            + self.accounts.len() * std::mem::size_of::<AccountRecord>()
+            + self
+                .accounts
+                .iter()
+                .map(|a| a.outlet.len() + a.advertised_region.as_deref().map_or(0, str::len))
+                .sum::<usize>()
+            + self.opened_texts.len() * std::mem::size_of::<String>()
+            + self.opened_texts.iter().map(String::len).sum::<usize>()
+            + self.gaps.len() * std::mem::size_of::<GapRecord>()
+            + self.gaps.iter().map(|g| g.kind.len()).sum::<usize>()
+    }
+
     /// Number of distinct accounts that received at least one access.
     pub fn accounts_with_accesses(&self) -> usize {
         self.accesses
@@ -315,7 +340,7 @@ fn opt_str_json(v: &Option<String>) -> Json {
 }
 
 impl ParsedAccess {
-    fn to_json_value(&self) -> Json {
+    pub(crate) fn to_json_value(&self) -> Json {
         Json::Obj(vec![
             ("account".to_string(), Json::U(u64::from(self.account))),
             ("cookie".to_string(), Json::U(self.cookie)),
@@ -341,7 +366,7 @@ impl ParsedAccess {
         ])
     }
 
-    fn from_json_value(v: &Json) -> Result<ParsedAccess, JsonError> {
+    pub(crate) fn from_json_value(v: &Json) -> Result<ParsedAccess, JsonError> {
         Ok(ParsedAccess {
             account: u32_field(v, "account")?,
             cookie: u64_field(v, "cookie")?,
@@ -366,7 +391,7 @@ impl ParsedAccess {
 }
 
 impl AccountRecord {
-    fn to_json_value(&self) -> Json {
+    pub(crate) fn to_json_value(&self) -> Json {
         let mut fields = vec![
             ("account".to_string(), Json::U(u64::from(self.account))),
             ("outlet".to_string(), Json::Str(self.outlet.clone())),
@@ -392,7 +417,7 @@ impl AccountRecord {
         Json::Obj(fields)
     }
 
-    fn from_json_value(v: &Json) -> Result<AccountRecord, JsonError> {
+    pub(crate) fn from_json_value(v: &Json) -> Result<AccountRecord, JsonError> {
         let coverage = match v.get("coverage") {
             None => None,
             Some(f) if f.is_null() => None,
@@ -411,7 +436,7 @@ impl AccountRecord {
 }
 
 impl GapRecord {
-    fn to_json_value(&self) -> Json {
+    pub(crate) fn to_json_value(&self) -> Json {
         Json::Obj(vec![
             ("account".to_string(), Json::U(u64::from(self.account))),
             ("kind".to_string(), Json::Str(self.kind.clone())),
@@ -420,7 +445,7 @@ impl GapRecord {
         ])
     }
 
-    fn from_json_value(v: &Json) -> Result<GapRecord, JsonError> {
+    pub(crate) fn from_json_value(v: &Json) -> Result<GapRecord, JsonError> {
         Ok(GapRecord {
             account: u32_field(v, "account")?,
             kind: str_field(v, "kind")?,

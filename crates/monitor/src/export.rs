@@ -1,0 +1,251 @@
+//! Streaming dataset export: JSON Lines, one record per line.
+//!
+//! [`Dataset::to_json`] materializes the whole export in memory before a
+//! single byte reaches disk — fine at the paper's 100 accounts, fatal at
+//! fleet scale (100k accounts of accesses, account records, and opened
+//! texts). [`DatasetWriter`] emits the same records *incrementally*: each
+//! access/account/opened-text/gap becomes one compact JSON line tagged
+//! with its record type, written straight to any [`std::io::Write`] sink,
+//! so peak memory is one record, not one dataset.
+//!
+//! The stream is lossless: [`read_jsonl`] re-assembles a [`Dataset`]
+//! whose [`Dataset::to_json`] is byte-identical to the in-memory export
+//! (proven by `tests/fleet_scale.rs`). Record order within a type is
+//! preserved; the writer may interleave types freely because re-assembly
+//! groups by tag.
+
+use crate::dataset::{AccountRecord, Dataset, GapRecord, ParsedAccess};
+use pwnd_telemetry::json::{Json, JsonError};
+use std::io::{self, Write};
+
+/// Incremental JSONL writer for dataset records.
+///
+/// Each line is a two-key object `{"record": <tag>, "value": <record>}`
+/// with tag `"access"`, `"account"`, `"opened_text"`, or `"gap"`, in the
+/// compact JSON rendering. Lines are written (and counted) as records
+/// arrive; nothing is buffered beyond the current line.
+pub struct DatasetWriter<W: Write> {
+    out: W,
+    records: u64,
+}
+
+impl<W: Write> DatasetWriter<W> {
+    /// Wrap a sink. The writer does not buffer; hand it a
+    /// `BufWriter` when writing to a file-like sink.
+    pub fn new(out: W) -> DatasetWriter<W> {
+        DatasetWriter { out, records: 0 }
+    }
+
+    fn line(&mut self, tag: &str, value: Json) -> io::Result<()> {
+        let obj = Json::Obj(vec![
+            ("record".to_string(), Json::Str(tag.to_string())),
+            ("value".to_string(), value),
+        ]);
+        self.out.write_all(obj.compact().as_bytes())?;
+        self.out.write_all(b"\n")?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Emit one parsed access.
+    pub fn access(&mut self, a: &ParsedAccess) -> io::Result<()> {
+        self.line("access", a.to_json_value())
+    }
+
+    /// Emit one per-account metadata record.
+    pub fn account(&mut self, a: &AccountRecord) -> io::Result<()> {
+        self.line("account", a.to_json_value())
+    }
+
+    /// Emit one opened-email text snapshot.
+    pub fn opened_text(&mut self, text: &str) -> io::Result<()> {
+        self.line("opened_text", Json::Str(text.to_string()))
+    }
+
+    /// Emit one monitoring-gap record.
+    pub fn gap(&mut self, g: &GapRecord) -> io::Result<()> {
+        self.line("gap", g.to_json_value())
+    }
+
+    /// Stream every record of an already-built dataset, in the same
+    /// order [`Dataset::to_json`] serializes them (accesses, accounts,
+    /// opened texts, gaps).
+    pub fn write_dataset(&mut self, ds: &Dataset) -> io::Result<()> {
+        for a in &ds.accesses {
+            self.access(a)?;
+        }
+        for a in &ds.accounts {
+            self.account(a)?;
+        }
+        for t in &ds.opened_texts {
+            self.opened_text(t)?;
+        }
+        for g in &ds.gaps {
+            self.gap(g)?;
+        }
+        Ok(())
+    }
+
+    /// Lines written so far.
+    pub fn records_written(&self) -> u64 {
+        self.records
+    }
+
+    /// Flush and hand the sink back.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+/// Re-assemble a [`Dataset`] from a JSONL stream produced by
+/// [`DatasetWriter`]. Records are grouped by tag with their relative
+/// order preserved, so `read_jsonl(stream).to_json()` is byte-identical
+/// to the `to_json()` of the dataset that was streamed. Blank lines are
+/// ignored; an unknown tag or malformed line is an error.
+pub fn read_jsonl(stream: &str) -> Result<Dataset, JsonError> {
+    let mut ds = Dataset::default();
+    for (lineno, raw) in stream.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let obj = Json::parse(line)?;
+        let tag = obj.get("record").and_then(Json::as_str).ok_or(JsonError {
+            msg: format!("line {}: missing record tag", lineno + 1),
+            at: 0,
+        })?;
+        let value = obj.get("value").ok_or(JsonError {
+            msg: format!("line {}: missing value", lineno + 1),
+            at: 0,
+        })?;
+        match tag {
+            "access" => ds.accesses.push(ParsedAccess::from_json_value(value)?),
+            "account" => ds.accounts.push(AccountRecord::from_json_value(value)?),
+            "opened_text" => {
+                ds.opened_texts
+                    .push(value.as_str().map(String::from).ok_or(JsonError {
+                        msg: format!("line {}: opened_text value must be a string", lineno + 1),
+                        at: 0,
+                    })?)
+            }
+            "gap" => ds.gaps.push(GapRecord::from_json_value(value)?),
+            other => {
+                return Err(JsonError {
+                    msg: format!("line {}: unknown record tag {other:?}", lineno + 1),
+                    at: 0,
+                })
+            }
+        }
+    }
+    Ok(ds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        Dataset {
+            accesses: vec![ParsedAccess {
+                account: 3,
+                cookie: 7,
+                first_seen_secs: 100,
+                last_seen_secs: 250,
+                ip: "10.1.2.3".into(),
+                country: Some("BR".into()),
+                city: "Rio de Janeiro".into(),
+                lat: -22.9,
+                lon: -43.2,
+                browser: "Chrome".into(),
+                os: "Windows".into(),
+                via_tor: false,
+                opened: 2,
+                sent: 0,
+                drafts: 1,
+                starred: 0,
+                hijacker: false,
+                has_location_row: true,
+            }],
+            accounts: vec![AccountRecord {
+                account: 3,
+                outlet: "paste".into(),
+                advertised_region: None,
+                leaked_at_secs: 50,
+                hijack_detected_secs: None,
+                block_detected_secs: Some(900),
+                coverage: None,
+            }],
+            opened_texts: vec!["payment due\nwire details".into()],
+            gaps: vec![GapRecord {
+                account: 3,
+                kind: "scraper".into(),
+                from_secs: 300,
+                until_secs: 400,
+            }],
+        }
+    }
+
+    #[test]
+    fn stream_round_trips_to_identical_json() {
+        let ds = sample();
+        let mut w = DatasetWriter::new(Vec::new());
+        w.write_dataset(&ds).unwrap();
+        assert_eq!(w.records_written(), 4);
+        let bytes = w.finish().unwrap();
+        let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(back.to_json(), ds.to_json());
+    }
+
+    #[test]
+    fn one_record_per_line_compact() {
+        let ds = sample();
+        let mut w = DatasetWriter::new(Vec::new());
+        w.write_dataset(&ds).unwrap();
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"record\":\"access\""));
+        assert!(lines[1].starts_with("{\"record\":\"account\""));
+        assert!(lines[2].starts_with("{\"record\":\"opened_text\""));
+        assert!(lines[3].starts_with("{\"record\":\"gap\""));
+        // No pretty-printing: a record never spans lines.
+        assert!(!text.contains("\n  "));
+    }
+
+    #[test]
+    fn interleaved_records_regroup_by_tag() {
+        let ds = sample();
+        let mut w = DatasetWriter::new(Vec::new());
+        // Deliberately out of to_json order.
+        w.gap(&ds.gaps[0]).unwrap();
+        w.account(&ds.accounts[0]).unwrap();
+        w.opened_text(&ds.opened_texts[0]).unwrap();
+        w.access(&ds.accesses[0]).unwrap();
+        let bytes = w.finish().unwrap();
+        let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        assert_eq!(back.to_json(), ds.to_json());
+    }
+
+    #[test]
+    fn blank_lines_ignored_unknown_tags_rejected() {
+        assert!(read_jsonl("\n\n").unwrap().accesses.is_empty());
+        let err = read_jsonl("{\"record\":\"bogus\",\"value\":1}").unwrap_err();
+        assert!(err.msg.contains("unknown record tag"));
+        assert!(read_jsonl("{\"value\":1}").is_err());
+    }
+
+    #[test]
+    fn gapless_stream_reassembles_legacy_shape() {
+        let mut ds = sample();
+        ds.gaps.clear();
+        ds.accounts[0].coverage = None;
+        let mut w = DatasetWriter::new(Vec::new());
+        w.write_dataset(&ds).unwrap();
+        let bytes = w.finish().unwrap();
+        let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
+        let json = back.to_json();
+        assert!(!json.contains("\"gaps\""));
+        assert_eq!(json, ds.to_json());
+    }
+}

@@ -24,15 +24,18 @@
 //! dataset the paper publishes, applying the same filters (drop accesses
 //! from the infrastructure's IPs and city) and inheriting the same
 //! censoring (hijacked accounts stop scraping; blocked accounts stop
-//! everything).
+//! everything). [`export`] streams the same records as JSON Lines so a
+//! fleet-scale run never materializes the full export in memory.
 
 pub mod collector;
 pub mod dataset;
+pub mod export;
 pub mod parser;
 pub mod scraper;
 pub mod script;
 
 pub use collector::{Notification, NotificationCollector, NotificationKind};
 pub use dataset::{Dataset, DatasetBuilder, GapRecord, ParsedAccess};
+pub use export::DatasetWriter;
 pub use scraper::{ScrapeOutcome, Scraper};
 pub use script::{ScriptRuntime, ScriptState};

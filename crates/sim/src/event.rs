@@ -6,7 +6,7 @@
 //! whole simulation rests on this property: a plain `BinaryHeap` over equal
 //! keys would pop in allocation-dependent order.
 //!
-//! The queue can carry a [`TelemetrySink`](pwnd_telemetry::TelemetrySink):
+//! The queue can carry a [`pwnd_telemetry::TelemetrySink`]:
 //! every schedule and pop is counted (`sim.events_scheduled`,
 //! `sim.events_dispatched`, optionally labelled by kind through
 //! [`EventQueue::with_labeler`]) and the pending depth feeds the

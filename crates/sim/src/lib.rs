@@ -20,6 +20,9 @@
 //!   non-homogeneous Poisson arrival helper.
 //! * [`event::EventQueue`] — a stable priority queue of timestamped events
 //!   (FIFO among equal timestamps), the heart of the experiment driver.
+//! * [`intern::Interner`] — a deterministic string-interning arena
+//!   (insertion-ordered `u32` symbols) that shrinks fleet-scale
+//!   per-account state from owned strings to 4-byte handles.
 //!
 //! ## Quick example
 //!
@@ -39,9 +42,11 @@
 
 pub mod dist;
 pub mod event;
+pub mod intern;
 pub mod rng;
 pub mod time;
 
 pub use event::EventQueue;
+pub use intern::{Interner, Symbol};
 pub use rng::Rng;
 pub use time::{SimDuration, SimTime};

@@ -23,6 +23,17 @@ struct Inner {
 
 /// Shared telemetry handle. Clones observe the same underlying state;
 /// a disabled sink is a true no-op.
+///
+/// ```
+/// use pwnd_telemetry::TelemetrySink;
+///
+/// let sink = TelemetrySink::enabled();
+/// sink.count("logins");
+/// sink.gauge_set("accounts", 100);
+/// let report = sink.report();
+/// assert_eq!(report.metrics.counter("logins"), 1);
+/// assert_eq!(report.metrics.gauge("accounts"), 100);
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct TelemetrySink {
     inner: Option<Arc<Mutex<Inner>>>,

@@ -7,9 +7,20 @@
 //! ranked results, and every query is appended to a ground-truth log that
 //! the monitor crate has no access to (tests use it to validate the
 //! TF-IDF keyword-inference pipeline against what was really searched).
+//!
+//! ## Fleet-scale representation
+//!
+//! A fleet of honey accounts shares one corporate vocabulary, so the
+//! index stores postings keyed by 4-byte [`Symbol`]s from a shared
+//! [`Interner`] (owned by the service, one arena per fleet shard)
+//! instead of one owned `String` per term per account. At paper scale
+//! (100 accounts × ~3k distinct terms) this removes ~300k owned
+//! strings; the ranking and results are unchanged — symbols are an
+//! encoding, not a semantic change.
 
 use crate::mailbox::Mailbox;
 use pwnd_corpus::email::{Email, EmailId, MailTime};
+use pwnd_sim::intern::{Interner, Symbol};
 use pwnd_sim::SimTime;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
@@ -25,9 +36,15 @@ pub struct QueryLogEntry {
 }
 
 /// An inverted index over one mailbox.
+///
+/// Term strings live in a caller-provided [`Interner`] (shared across
+/// every index of a service), so the per-index state is symbols and id
+/// sets only. Methods that tokenize text take the arena: mutably when
+/// indexing (new terms are interned), immutably when searching (a term
+/// the arena has never seen cannot match anything).
 #[derive(Clone, Debug, Default)]
 pub struct SearchIndex {
-    postings: BTreeMap<String, BTreeSet<EmailId>>,
+    postings: BTreeMap<Symbol, BTreeSet<EmailId>>,
     /// Message timestamps, for recency ranking (Gmail's default order).
     recency: HashMap<EmailId, MailTime>,
     query_log: Vec<QueryLogEntry>,
@@ -47,11 +64,12 @@ impl SearchIndex {
         SearchIndex::default()
     }
 
-    /// Build the index for everything currently in `mailbox`.
-    pub fn build(mailbox: &Mailbox) -> SearchIndex {
+    /// Build the index for everything currently in `mailbox`, interning
+    /// terms into `vocab`.
+    pub fn build(mailbox: &Mailbox, vocab: &mut Interner) -> SearchIndex {
         let mut idx = SearchIndex::new();
         for entry in mailbox.iter() {
-            idx.add_email(&entry.email);
+            idx.add_email(vocab, &entry.email);
         }
         idx
     }
@@ -61,18 +79,20 @@ impl SearchIndex {
     /// `full_text()` string just to throw it away after tokenization.
     /// (Pre-deduplicating terms per email was measured slower than
     /// letting the postings `BTreeSet` absorb repeats.)
-    pub fn add_email(&mut self, email: &Email) {
+    pub fn add_email(&mut self, vocab: &mut Interner, email: &Email) {
         for term in terms_of(&email.subject).chain(terms_of(&email.body)) {
-            self.postings.entry(term).or_default().insert(email.id);
+            let sym = vocab.intern(&term);
+            self.postings.entry(sym).or_default().insert(email.id);
         }
         self.recency.insert(email.id, email.timestamp);
     }
 
     /// Index one document given as raw text (callers with a real
     /// [`Email`] should prefer [`SearchIndex::add_email`]).
-    pub fn add(&mut self, id: EmailId, text: &str, timestamp: MailTime) {
+    pub fn add(&mut self, vocab: &mut Interner, id: EmailId, text: &str, timestamp: MailTime) {
         for term in terms_of(text) {
-            self.postings.entry(term).or_default().insert(id);
+            let sym = vocab.intern(&term);
+            self.postings.entry(sym).or_default().insert(id);
         }
         self.recency.insert(id, timestamp);
     }
@@ -83,8 +103,9 @@ impl SearchIndex {
     /// The intersection walks the smallest posting list and probes the
     /// others (`O(min · k·log)` instead of cloning and re-collecting a
     /// `BTreeSet` per term), and short-circuits to empty as soon as any
-    /// term has no postings at all.
-    pub fn search(&mut self, query: &str, at: SimTime) -> Vec<EmailId> {
+    /// term has no postings at all — including terms the shared arena
+    /// has never interned, which by definition appear in no mailbox.
+    pub fn search(&mut self, vocab: &Interner, query: &str, at: SimTime) -> Vec<EmailId> {
         let mut terms: Vec<String> = terms_of(query).collect();
         terms.sort_unstable();
         terms.dedup();
@@ -95,7 +116,7 @@ impl SearchIndex {
                 let mut lists: Vec<&BTreeSet<EmailId>> = Vec::with_capacity(terms.len());
                 let mut missing = false;
                 for t in &terms {
-                    match self.postings.get(t) {
+                    match vocab.lookup(t).and_then(|sym| self.postings.get(&sym)) {
                         Some(p) if !p.is_empty() => lists.push(p),
                         // A term nobody ever wrote: the conjunction is
                         // empty, whatever the other lists hold.
@@ -143,6 +164,25 @@ impl SearchIndex {
     pub fn term_count(&self) -> usize {
         self.postings.len()
     }
+
+    /// Approximate heap footprint of this index in bytes, counting the
+    /// postings map (4-byte symbol keys, 8-byte email ids), the recency
+    /// map, and the query log — but **not** the shared arena, which is
+    /// accounted once per service. Feeds the fleet engine's
+    /// `fleet.peak_rss_proxy` metric; never reads the OS.
+    pub fn heap_bytes(&self) -> usize {
+        let posting_ids: usize = self.postings.values().map(|p| p.len()).sum();
+        // Per posting entry: symbol key + set bookkeeping; per id: 8
+        // bytes + B-tree node overhead amortized to ~8.
+        let postings = self.postings.len() * (4 + 24) + posting_ids * 16;
+        let recency = self.recency.len() * (8 + 8 + 16);
+        let log: usize = self
+            .query_log
+            .iter()
+            .map(|q| q.query.len() + std::mem::size_of::<QueryLogEntry>())
+            .sum();
+        postings + recency + log
+    }
 }
 
 #[cfg(test)]
@@ -163,7 +203,7 @@ mod tests {
         }
     }
 
-    fn index() -> SearchIndex {
+    fn index() -> (SearchIndex, Interner) {
         let mut mb = Mailbox::new();
         mb.deliver(mk(
             1,
@@ -172,41 +212,43 @@ mod tests {
         ));
         mb.deliver(mk(2, "Lunch", "see you at noon"));
         mb.deliver(mk(3, "Account payment", "account number attached"));
-        SearchIndex::build(&mb)
+        let mut vocab = Interner::new();
+        let idx = SearchIndex::build(&mb, &mut vocab);
+        (idx, vocab)
     }
 
     #[test]
     fn single_term_search_newest_first() {
-        let mut idx = index();
-        let hits = idx.search("payment", SimTime::ZERO);
+        let (mut idx, vocab) = index();
+        let hits = idx.search(&vocab, "payment", SimTime::ZERO);
         assert_eq!(hits, vec![EmailId(3), EmailId(1)]);
     }
 
     #[test]
     fn conjunctive_multi_term() {
-        let mut idx = index();
-        let hits = idx.search("account payment", SimTime::ZERO);
+        let (mut idx, vocab) = index();
+        let hits = idx.search(&vocab, "account payment", SimTime::ZERO);
         assert_eq!(hits, vec![EmailId(3)]);
     }
 
     #[test]
     fn case_insensitive() {
-        let mut idx = index();
-        assert_eq!(idx.search("PAYMENT", SimTime::ZERO).len(), 2);
+        let (mut idx, vocab) = index();
+        assert_eq!(idx.search(&vocab, "PAYMENT", SimTime::ZERO).len(), 2);
     }
 
     #[test]
     fn no_hits_and_empty_query() {
-        let mut idx = index();
-        assert!(idx.search("bitcoin", SimTime::ZERO).is_empty());
-        assert!(idx.search("  ", SimTime::ZERO).is_empty());
+        let (mut idx, vocab) = index();
+        assert!(idx.search(&vocab, "bitcoin", SimTime::ZERO).is_empty());
+        assert!(idx.search(&vocab, "  ", SimTime::ZERO).is_empty());
     }
 
     #[test]
     fn queries_are_logged_with_hit_counts() {
-        let mut idx = index();
-        idx.search("payment", SimTime::from_secs(5));
-        idx.search("bitcoin", SimTime::from_secs(9));
+        let (mut idx, vocab) = index();
+        idx.search(&vocab, "payment", SimTime::from_secs(5));
+        idx.search(&vocab, "bitcoin", SimTime::from_secs(9));
         let log = idx.query_log();
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].query, "payment");
@@ -217,19 +259,52 @@ mod tests {
 
     #[test]
     fn incremental_add_is_searchable() {
-        let mut idx = index();
-        idx.add(EmailId(9), "bitcoin ransom draft", MailTime(5));
-        assert_eq!(idx.search("bitcoin", SimTime::ZERO), vec![EmailId(9)]);
+        let (mut idx, mut vocab) = index();
+        idx.add(&mut vocab, EmailId(9), "bitcoin ransom draft", MailTime(5));
+        assert_eq!(
+            idx.search(&vocab, "bitcoin", SimTime::ZERO),
+            vec![EmailId(9)]
+        );
     }
 
     #[test]
     fn recency_ranking_overrides_id_order() {
+        let mut vocab = Interner::new();
         let mut idx = SearchIndex::new();
-        idx.add(EmailId(1), "payment new", MailTime(100));
-        idx.add(EmailId(2), "payment old", MailTime(-100));
+        idx.add(&mut vocab, EmailId(1), "payment new", MailTime(100));
+        idx.add(&mut vocab, EmailId(2), "payment old", MailTime(-100));
         assert_eq!(
-            idx.search("payment", SimTime::ZERO),
+            idx.search(&vocab, "payment", SimTime::ZERO),
             vec![EmailId(1), EmailId(2)]
         );
+    }
+
+    #[test]
+    fn shared_arena_deduplicates_vocabulary_across_indexes() {
+        let mut vocab = Interner::new();
+        let mut a = SearchIndex::new();
+        let mut b = SearchIndex::new();
+        a.add(
+            &mut vocab,
+            EmailId(1),
+            "quarterly payment invoice",
+            MailTime(0),
+        );
+        b.add(
+            &mut vocab,
+            EmailId(2),
+            "invoice payment overdue",
+            MailTime(0),
+        );
+        // Four distinct terms total; the arena holds each exactly once.
+        assert_eq!(vocab.len(), 4);
+        assert_eq!(a.search(&vocab, "payment", SimTime::ZERO), vec![EmailId(1)]);
+        assert_eq!(b.search(&vocab, "payment", SimTime::ZERO), vec![EmailId(2)]);
+    }
+
+    #[test]
+    fn heap_bytes_counts_postings() {
+        let (idx, _) = index();
+        assert!(idx.heap_bytes() > 0);
     }
 }

@@ -22,9 +22,10 @@ use pwnd_net::access::{ConnectionInfo, CookieId};
 use pwnd_net::geo::{haversine_km, GeoPoint};
 use pwnd_net::geolocate::Geolocator;
 use pwnd_net::useragent;
+use pwnd_sim::intern::{Interner, Symbol};
 use pwnd_sim::SimTime;
 use pwnd_telemetry::TelemetrySink;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::net::Ipv4Addr;
 
 /// Login session handle.
@@ -114,9 +115,13 @@ pub struct WebmailService {
     config: ServiceConfig,
     geolocator: Geolocator,
     accounts: Vec<Account>,
-    by_address: HashMap<String, AccountId>,
+    by_address: BTreeMap<Symbol, AccountId>,
     mailboxes: Vec<Mailbox>,
     indexes: Vec<SearchIndex>,
+    /// Shared string arena: account addresses and the search vocabulary
+    /// of every mailbox intern into one insertion-ordered table, so a
+    /// fleet shard stores each distinct string once.
+    vocab: Interner,
     rules: Vec<RuleSet>,
     activity: Vec<ActivityPage>,
     habitual: Vec<Vec<GeoPoint>>,
@@ -143,9 +148,10 @@ impl WebmailService {
             config,
             geolocator,
             accounts: Vec::new(),
-            by_address: HashMap::new(),
+            by_address: BTreeMap::new(),
             mailboxes: Vec::new(),
             indexes: Vec::new(),
+            vocab: Interner::new(),
             rules: Vec::new(),
             activity: Vec::new(),
             habitual: Vec::new(),
@@ -195,7 +201,11 @@ impl WebmailService {
         from_ip: Ipv4Addr,
         at: SimTime,
     ) -> Result<AccountId, SignupError> {
-        if self.by_address.contains_key(address) {
+        if self
+            .vocab
+            .lookup(address)
+            .is_some_and(|sym| self.by_address.contains_key(&sym))
+        {
             return Err(SignupError::AddressTaken);
         }
         let count = self.signup_counts.entry(from_ip).or_insert(0);
@@ -215,7 +225,8 @@ impl WebmailService {
             password_changes: 0,
             last_password_change: None,
         });
-        self.by_address.insert(address.to_string(), id);
+        let sym = self.vocab.intern(address);
+        self.by_address.insert(sym, id);
         self.mailboxes.push(Mailbox::new());
         self.indexes.push(SearchIndex::new());
         self.rules.push(RuleSet::new());
@@ -246,7 +257,7 @@ impl WebmailService {
                 .into_iter()
                 .cloned()
                 .collect();
-            self.indexes[idx].add_email(&email);
+            self.indexes[idx].add_email(&mut self.vocab, &email);
             self.mailboxes[idx].deliver(email);
             for action in actions {
                 match action {
@@ -303,7 +314,11 @@ impl WebmailService {
                 .count_labeled("faults.injected", "maintenance");
             return Err(LoginError::Maintenance);
         }
-        let Some(&id) = self.by_address.get(address) else {
+        let Some(&id) = self
+            .vocab
+            .lookup(address)
+            .and_then(|sym| self.by_address.get(&sym))
+        else {
             self.telemetry
                 .count_labeled("webmail.logins", "bad_credentials");
             self.telemetry.trace(at.as_secs(), "login", None);
@@ -474,7 +489,26 @@ impl WebmailService {
     ) -> Result<Vec<EmailId>, OpError> {
         let (account, _, _) = self.session(session)?;
         self.telemetry.count("webmail.searches");
-        Ok(self.indexes[account.0 as usize].search(query, at))
+        Ok(self.indexes[account.0 as usize].search(&self.vocab, query, at))
+    }
+
+    /// The shared string arena (account addresses plus the search
+    /// vocabulary of every mailbox).
+    pub fn search_vocab(&self) -> &Interner {
+        &self.vocab
+    }
+
+    /// Approximate heap bytes of the interned hot state: the shared
+    /// arena plus every per-account inverted index. Pure byte-size
+    /// accounting (no OS, no wall clock); the fleet engine reports the
+    /// high-water of this across shards as `fleet.peak_rss_proxy`.
+    pub fn interned_state_bytes(&self) -> usize {
+        self.vocab.heap_bytes()
+            + self
+                .indexes
+                .iter()
+                .map(SearchIndex::heap_bytes)
+                .sum::<usize>()
     }
 
     fn fresh_email_id(&mut self) -> EmailId {
@@ -502,7 +536,7 @@ impl WebmailService {
             body: body.to_string(),
             timestamp: MailTime::from_sim(at),
         };
-        self.indexes[account.0 as usize].add_email(&email);
+        self.indexes[account.0 as usize].add_email(&mut self.vocab, &email);
         self.mailboxes[account.0 as usize].store_draft(email);
         self.events.push(WebmailEvent::DraftCreated {
             account,

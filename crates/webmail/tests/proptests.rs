@@ -244,7 +244,8 @@ proptest! {
         for e in &emails {
             mb.deliver(e.clone());
         }
-        let mut idx = pwnd_webmail::search::SearchIndex::build(&mb);
+        let mut vocab = pwnd_sim::intern::Interner::new();
+        let mut idx = pwnd_webmail::search::SearchIndex::build(&mb, &mut vocab);
         for (qi, q) in queries.iter().enumerate() {
             // Indexes past VOCAB map to an unindexed word; odd slots get
             // uppercase + punctuation noise to exercise normalization.
@@ -256,7 +257,7 @@ proptest! {
                 words = words.iter().map(|w| w.to_uppercase()).collect();
             }
             let query = words.join(if qi % 3 == 0 { " " } else { ", " });
-            let got = idx.search(&query, SimTime::from_secs(qi as u64));
+            let got = idx.search(&vocab, &query, SimTime::from_secs(qi as u64));
             let want = naive_search(&emails, &query);
             prop_assert_eq!(got, want, "query {:?}", query);
         }

@@ -6,6 +6,7 @@
 //! pwnd export  [--seed N] [--out FILE]
 //! pwnd sweep   [--seeds N] [--seed BASE] [--jobs N] [--profile]
 //! pwnd chaos   [--seed N] [--quick] [--faults NAME] [--jobs N] [--profile]
+//! pwnd fleet   [--accounts N] [--jobs N] [--seed N] [--out FILE] [--profile]
 //! pwnd bench   [--json FILE] [--reps N] [--jobs N]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
@@ -13,6 +14,7 @@
 //! ```
 
 use pwnd::cli;
+use pwnd::core::fleet::{run_fleet, FleetConfig};
 use pwnd::telemetry::{Table, TelemetrySink};
 use pwnd::{Experiment, ExperimentConfig, FaultProfile, Runner};
 use std::process::ExitCode;
@@ -26,6 +28,7 @@ commands:
   export   write the censored dataset as JSON
   sweep    headline stats across consecutive seeds
   chaos    data-loss ablation: sweep fault-rate factors over one seed
+  fleet    one sharded experiment over a large account population
   bench    perf baseline: run the benchmark workloads, report median/min
   leaks    the leak plan actually executed
   truth    ground-truth vs observed audit
@@ -40,9 +43,12 @@ flags:
                    for chaos, the profile whose rates are scaled (default heavy)
   --profile        (run) print phase timings and the metrics summary;
                    (sweep/chaos) print the runner speedup breakdown too
-  --jobs N         (sweep/chaos/bench) worker threads (default: all cores);
-                   --jobs 1 is the sequential path, output is identical
-  --out FILE       (export) output path (default dataset.json)
+  --jobs N         (sweep/chaos/fleet/bench) worker threads (default: all
+                   cores); --jobs 1 is the sequential path, output is identical
+  --accounts N     (fleet) honey-account population (default 1000), sharded
+                   into 100-account sub-experiments
+  --out FILE       (export) output path (default dataset.json);
+                   (fleet) stream the merged dataset there as JSON Lines
   --trace-out FILE (trace) write the JSONL trace here instead of stdout
   --seeds N        (sweep) number of seeds (default 8)
   --reps N         (bench) repetitions per workload (default 5)
@@ -58,6 +64,8 @@ struct Args {
     decoys: bool,
     profile: bool,
     out: String,
+    out_given: bool,
+    accounts: u32,
     trace_out: Option<String>,
     seeds: u64,
     faults: Option<FaultProfile>,
@@ -89,6 +97,8 @@ fn parse(mut argv: std::env::Args) -> Cli {
         decoys: false,
         profile: false,
         out: "dataset.json".to_string(),
+        out_given: false,
+        accounts: 1_000,
         trace_out: None,
         seeds: 8,
         faults: None,
@@ -117,6 +127,14 @@ fn parse(mut argv: std::env::Args) -> Cli {
                     return Cli::Invalid;
                 };
                 args.out = v.clone();
+                args.out_given = true;
+                i += 2;
+            }
+            "--accounts" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.accounts = v;
                 i += 2;
             }
             "--trace-out" => {
@@ -310,6 +328,34 @@ fn main() -> ExitCode {
             println!("factor 0.00 injects nothing; rates scale linearly up to the profile's own.");
             if args.profile {
                 print!("{}", cli::batch_profile_report(&batch));
+            }
+        }
+        "fleet" => {
+            // One logical experiment sharded over the runner; the merge
+            // is deterministic, so summary and exports are byte-identical
+            // for any --jobs value (tests/fleet_scale.rs proves it).
+            let cfg =
+                FleetConfig::new(args.seed, args.accounts, args.jobs).with_telemetry(args.profile);
+            let out = run_fleet(&cfg);
+            print!("{}", out.summary_table().render());
+            if args.out_given {
+                let file = match std::fs::File::create(&args.out) {
+                    Ok(f) => f,
+                    Err(_) => {
+                        eprintln!("cannot write {}", args.out);
+                        return ExitCode::FAILURE;
+                    }
+                };
+                match out.write_jsonl(std::io::BufWriter::new(file)) {
+                    Ok(records) => eprintln!("wrote {} ({records} JSONL records)", args.out),
+                    Err(_) => {
+                        eprintln!("cannot write {}", args.out);
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            if args.profile {
+                println!("{}", out.telemetry.render());
             }
         }
         "bench" => {

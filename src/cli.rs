@@ -11,11 +11,13 @@
 //! wall-clock ban).
 
 use pwnd_analysis::tables::overview;
+use pwnd_core::fleet::{run_fleet, FleetConfig};
 use pwnd_core::{Batch, Experiment, ExperimentConfig, RunOutput, Runner};
 use pwnd_corpus::archetype::Archetype;
 use pwnd_corpus::generator::CorpusGenerator;
 use pwnd_corpus::persona::PersonaFactory;
 use pwnd_faults::FaultProfile;
+use pwnd_sim::intern::Interner;
 use pwnd_sim::{Rng, SimTime};
 use pwnd_telemetry::{Json, PhaseSummary, Table, TelemetrySink};
 use pwnd_webmail::mailbox::Mailbox;
@@ -293,26 +295,36 @@ pub fn bench_report(reps: u32, jobs: usize) -> Json {
     let mut build = WorkloadStats::new("search_build_300_emails");
     for _ in 0..reps {
         let mut built = None;
-        build
-            .samples
-            .push(timed(|| built = Some(SearchIndex::build(&mailbox))));
+        build.samples.push(timed(|| {
+            let mut vocab = Interner::new();
+            built = Some(SearchIndex::build(&mailbox, &mut vocab));
+        }));
         drop(built);
     }
     workloads.push(build.to_json());
 
     let mut query = WorkloadStats::new("search_hot_queries_x2000");
-    let mut index = SearchIndex::build(&mailbox);
+    let mut vocab = Interner::new();
+    let mut index = SearchIndex::build(&mailbox, &mut vocab);
     for _ in 0..reps {
         query.samples.push(timed(|| {
             for round in 0..2_000u64 {
                 for q in HOT_QUERIES {
-                    let _ = index.search(q, SimTime::from_secs(round));
+                    let _ = index.search(&vocab, q, SimTime::from_secs(round));
                 }
             }
         }));
-        index = SearchIndex::build(&mailbox); // fresh query log per rep
+        index = SearchIndex::build(&mailbox, &mut vocab); // fresh query log per rep
     }
     workloads.push(query.to_json());
+
+    let mut fleet = WorkloadStats::new("fleet_1000_accounts");
+    for _ in 0..reps {
+        fleet.samples.push(timed(|| {
+            let _ = run_fleet(&FleetConfig::new(1, 1_000, jobs));
+        }));
+    }
+    workloads.push(fleet.to_json());
 
     Json::Obj(vec![
         ("schema".to_string(), Json::Str("pwnd-bench/1".to_string())),

@@ -24,7 +24,8 @@
 //! | [`analysis`] | `pwnd-analysis` | §4 figures, tables, CvM, TF-IDF |
 //! | [`telemetry`] | `pwnd-telemetry` | metrics, run tracing, phase profiling |
 //! | [`faults`] | `pwnd-faults` | deterministic fault injection + retry policy |
-//! | [`core`] | `pwnd-core` | experiment orchestration |
+//! | [`core`] | `pwnd-core` | experiment orchestration, runner, fleet engine |
+//! | [`lint`] | `pwnd-lint` | the determinism & invariant linter (CI gate) |
 //!
 //! ## Quickstart
 //!
@@ -51,6 +52,7 @@ pub use pwnd_telemetry as telemetry;
 pub use pwnd_webmail as webmail;
 
 pub use pwnd_core::{
-    Batch, BatchProfile, Experiment, ExperimentConfig, GroundTruth, RunOutput, Runner,
+    Batch, BatchProfile, Experiment, ExperimentConfig, FleetConfig, FleetOutput, GroundTruth,
+    Interner, RunOutput, Runner, Symbol,
 };
 pub use pwnd_faults::{FaultProfile, RetryPolicy};

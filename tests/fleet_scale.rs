@@ -1,0 +1,60 @@
+//! The fleet engine's user-facing contract: a sharded fleet run is a
+//! pure function of its config — the merged dataset, the summary
+//! table, and the streamed JSONL export are byte-identical whatever
+//! `--jobs` was — and the streaming export loses nothing relative to
+//! the in-memory JSON artifact.
+
+use pwnd::core::fleet::{run_fleet, FleetConfig};
+use pwnd::monitor::export::read_jsonl;
+use pwnd::{Experiment, ExperimentConfig};
+
+/// `pwnd fleet --accounts 500`: the merged dataset and every rendered
+/// artifact are byte-identical between the sequential and the parallel
+/// schedule.
+#[test]
+fn fleet_500_accounts_is_byte_identical_across_job_counts() {
+    let seq = run_fleet(&FleetConfig::new(2016, 500, 1));
+    let par = run_fleet(&FleetConfig::new(2016, 500, 4));
+
+    assert_eq!(seq.accounts, 500);
+    assert_eq!(seq.shards, 5);
+    assert_eq!(seq.dataset_json(), par.dataset_json());
+
+    let mut seq_jsonl = Vec::new();
+    let mut par_jsonl = Vec::new();
+    seq.write_jsonl(&mut seq_jsonl).unwrap();
+    par.write_jsonl(&mut par_jsonl).unwrap();
+    assert_eq!(seq_jsonl, par_jsonl);
+
+    // The summary differs only in the jobs row it reports.
+    let strip_jobs = |t: String| {
+        t.lines()
+            .filter(|l| !l.starts_with("jobs"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_jobs(seq.summary_table().render()),
+        strip_jobs(par.summary_table().render())
+    );
+}
+
+/// Streaming a dataset out as JSON Lines and reassembling it yields the
+/// exact in-memory JSON artifact — at the paper's own 100-account
+/// scale, through a real (non-fleet) run.
+#[test]
+fn jsonl_round_trip_matches_in_memory_export_at_paper_scale() {
+    let output = Experiment::new(ExperimentConfig::quick(2016)).run();
+    let direct = output.dataset_json();
+
+    let mut stream = Vec::new();
+    {
+        use pwnd::monitor::DatasetWriter;
+        let mut writer = DatasetWriter::new(&mut stream);
+        writer.write_dataset(&output.dataset).unwrap();
+        writer.finish().unwrap();
+    }
+
+    let reassembled = read_jsonl(std::str::from_utf8(&stream).unwrap()).unwrap();
+    assert_eq!(reassembled.to_json(), direct);
+}
