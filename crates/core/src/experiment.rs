@@ -207,6 +207,7 @@ impl Experiment {
                 Event::Scrape => "scrape",
                 Event::Heartbeat => "heartbeat",
             });
+        let sched_span = self.telemetry.subspan("schedule", &[]);
         for (ai, st) in states.iter().enumerate() {
             for (vi, v) in st.plan.visits.iter().enumerate() {
                 if v.start < horizon {
@@ -222,12 +223,28 @@ impl Experiment {
         }
         queue.schedule(SimTime::ZERO + SimDuration::hours(1), Event::Scrape);
         queue.schedule(SimTime::ZERO + SimDuration::minutes(30), Event::Heartbeat);
+        drop(sched_span);
 
         let scrape_gap = SimDuration::hours(cfg.scrape_interval_hours);
         while let Some((t, ev)) = queue.pop() {
             if t >= horizon {
                 break;
             }
+            // Attribute the dispatch — including the notification drain
+            // below — to its event kind, and for visits to the acting
+            // attacker class (Figure 5's taxonomy).
+            let ev_span = match &ev {
+                Event::Visit { access, .. } => self.telemetry.subspan(
+                    "event",
+                    &[
+                        ("kind", "visit"),
+                        ("class", states[*access].plan.class.label()),
+                    ],
+                ),
+                Event::Scrape => self.telemetry.subspan("event", &[("kind", "scrape")]),
+                Event::Heartbeat => self.telemetry.subspan("event", &[("kind", "heartbeat")]),
+            };
+            ev_span.sim(t.as_secs());
             match ev {
                 Event::Scrape => {
                     let scrape_span = self.telemetry.span("scrape");
@@ -256,6 +273,7 @@ impl Experiment {
             }
             let events = service.drain_events();
             runtime.process_events(&events, &mut service, &mut collector);
+            drop(ev_span);
         }
         // One final scrape right at the horizon, as the researchers would
         // do before ending data collection.
@@ -429,48 +447,73 @@ impl Experiment {
                 } else {
                     None
                 };
-                let persona = factory.generate(region, rng_setup);
-                let address = persona.webmail_address();
-                let password = format!("hp-{:08x}", rng_setup.next_u64() as u32);
+                // Sub-phase attribution: persona + signup ("addresses"),
+                // email synthesis ("bodies"), TF-IDF corpus accumulation
+                // ("vocab"), and mailbox/rule/script insertion ("index").
+                // Guards never reorder the RNG draws they wrap.
+                let (persona, address, password, id) = {
+                    let _stage = self.telemetry.subspan("addresses", &[]);
+                    let persona = factory.generate(region, rng_setup);
+                    let address = persona.webmail_address();
+                    let password = format!("hp-{:08x}", rng_setup.next_u64() as u32);
 
-                // Account creation hits the provider's per-IP signup rate
-                // limit; complete phone verification and continue, as the
-                // researchers did manually.
-                let id = loop {
-                    match service.create_account(&address, &password, signup_ip, creation_time) {
-                        Ok(id) => break id,
-                        Err(SignupError::PhoneVerificationRequired) => {
-                            service.complete_phone_verification(signup_ip);
-                            signup_ip = AddressPlan::sample_infra(rng_setup);
+                    // Account creation hits the provider's per-IP signup
+                    // rate limit; complete phone verification and
+                    // continue, as the researchers did manually.
+                    let id = loop {
+                        match service.create_account(&address, &password, signup_ip, creation_time)
+                        {
+                            Ok(id) => break id,
+                            Err(SignupError::PhoneVerificationRequired) => {
+                                service.complete_phone_verification(signup_ip);
+                                signup_ip = AddressPlan::sample_infra(rng_setup);
+                            }
+                            Err(SignupError::AddressTaken) => {
+                                unreachable!("persona handles are unique")
+                            }
                         }
-                        Err(SignupError::AddressTaken) => {
-                            unreachable!("persona handles are unique")
-                        }
-                    }
+                    };
+                    (persona, address, password, id)
                 };
 
-                let mailbox = generator.generate_mailbox(
-                    &persona,
-                    &peers,
-                    cfg.min_emails,
-                    cfg.max_emails,
-                    rng_corpus,
-                );
-                for e in &mailbox {
-                    corpus_text.push_str(&e.full_text());
-                    corpus_text.push('\n');
-                }
-                let mailbox_len = mailbox.len();
-                service.seed_mailbox(id, mailbox);
-                if cfg.seed_decoys {
-                    let decoys =
-                        generate_decoys(&persona, 5_000_000 + id.0 as u64 * 10, rng_corpus);
-                    for d in &decoys {
-                        corpus_text.push_str(&d.email.full_text());
+                let mailbox = {
+                    let _stage = self.telemetry.subspan("bodies", &[]);
+                    generator.generate_mailbox(
+                        &persona,
+                        &peers,
+                        cfg.min_emails,
+                        cfg.max_emails,
+                        rng_corpus,
+                    )
+                };
+                {
+                    let _stage = self.telemetry.subspan("vocab", &[]);
+                    for e in &mailbox {
+                        corpus_text.push_str(&e.full_text());
                         corpus_text.push('\n');
                     }
+                }
+                let mailbox_len = mailbox.len();
+                {
+                    let _stage = self.telemetry.subspan("index", &[]);
+                    service.seed_mailbox(id, mailbox);
+                }
+                if cfg.seed_decoys {
+                    let decoys = {
+                        let _stage = self.telemetry.subspan("bodies", &[]);
+                        generate_decoys(&persona, 5_000_000 + id.0 as u64 * 10, rng_corpus)
+                    };
+                    {
+                        let _stage = self.telemetry.subspan("vocab", &[]);
+                        for d in &decoys {
+                            corpus_text.push_str(&d.email.full_text());
+                            corpus_text.push('\n');
+                        }
+                    }
+                    let _stage = self.telemetry.subspan("index", &[]);
                     service.seed_mailbox(id, decoys.into_iter().map(|d| d.email).collect());
                 }
+                let index_stage = self.telemetry.subspan("index", &[]);
                 service.set_send_from_override(id, "sinkhole@monitor.example");
                 // A lived-in mailbox has a couple of owner rules (§2);
                 // they label the routine traffic during seeding.
@@ -500,6 +543,7 @@ impl Experiment {
                 // received 'too much computer time' notices".
                 runtime.set_polling_cost(id, 1_800.0 + 12.1 * mailbox_len as f64);
                 scraper.register(id, &address, &password);
+                drop(index_stage);
 
                 stopwords.push(persona.first.to_lowercase());
                 stopwords.push(persona.last.to_lowercase());
@@ -1138,5 +1182,26 @@ mod tests {
         assert!(report.counter("webmail.logins") > 0);
         assert!(report.counter("monitor.scrapes") > 0);
         assert!(!report.trace.is_empty());
+
+        // The span tree's deterministic structure — paths, entry
+        // counts, sim ranges — is identical run to run, and a disabled
+        // sink recorded no tree at all (the no-op contract extends to
+        // hierarchical spans).
+        let report2 = traced2.telemetry_report();
+        assert_eq!(report.spans.structure(), report2.spans.structure());
+        assert!(plain.telemetry_report().spans.is_empty());
+        let events = report
+            .spans
+            .nodes
+            .iter()
+            .filter(|n| n.leaf_base() == "event" && n.parent_path() == Some("event-loop"))
+            .count();
+        assert!(events >= 3, "event kinds attributed under the loop");
+        // The sim-annotated root phase leaves its deterministic span
+        // trace event (path + sim range, no wall clock).
+        assert!(report
+            .trace
+            .iter()
+            .any(|e| e.kind == "span" && e.detail.starts_with("event-loop sim=")));
     }
 }

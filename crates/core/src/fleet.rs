@@ -33,7 +33,9 @@ use pwnd_leak::plan::LeakPlan;
 use pwnd_monitor::dataset::Dataset;
 use pwnd_monitor::export::DatasetWriter;
 use pwnd_telemetry::{Table, TelemetryReport, TelemetrySink};
+use std::collections::BTreeMap;
 use std::io::{self, Write};
+use std::sync::Mutex;
 
 /// Accounts per shard: the paper's deployment size, which keeps every
 /// shard's calibration (Table 1 proportions, signup rate limits,
@@ -102,6 +104,83 @@ struct ShardResult {
     rss_proxy_bytes: u64,
 }
 
+/// Re-serializes out-of-order submissions into index order.
+///
+/// Workers complete shards in schedule order, but a streamed telemetry
+/// file must read in shard order to be deterministic. Each completed
+/// line is submitted under its shard index; lines at the write frontier
+/// flush immediately, lines ahead of it park in a `BTreeMap` until the
+/// gap fills. Peak buffering is bounded by how far the schedule runs
+/// ahead — at most one pending line per in-flight worker — so memory
+/// stays O(jobs), not O(shards).
+struct OrderedLineWriter<W: Write> {
+    state: Mutex<OrderedState<W>>,
+}
+
+struct OrderedState<W: Write> {
+    out: W,
+    next: usize,
+    pending: BTreeMap<usize, String>,
+    written: u64,
+    error: Option<io::Error>,
+}
+
+impl<W: Write> OrderedLineWriter<W> {
+    fn new(out: W) -> Self {
+        OrderedLineWriter {
+            state: Mutex::new(OrderedState {
+                out,
+                next: 0,
+                pending: BTreeMap::new(),
+                written: 0,
+                error: None,
+            }),
+        }
+    }
+
+    /// Submit `line` (without trailing newline) as entry `index`.
+    /// Write errors are latched and re-raised by [`Self::finish`].
+    fn submit(&self, index: usize, line: String) {
+        let mut s = self
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if s.error.is_some() {
+            return;
+        }
+        s.pending.insert(index, line);
+        loop {
+            let next = s.next;
+            let Some(line) = s.pending.remove(&next) else {
+                break;
+            };
+            if let Err(e) = s
+                .out
+                .write_all(line.as_bytes())
+                .and_then(|()| s.out.write_all(b"\n"))
+            {
+                s.error = Some(e);
+                return;
+            }
+            s.written += 1;
+            s.next += 1;
+        }
+    }
+
+    /// Flush and surface any latched write error; returns lines written.
+    fn finish(self) -> io::Result<u64> {
+        let mut s = self
+            .state
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(e) = s.error {
+            return Err(e);
+        }
+        s.out.flush()?;
+        Ok(s.written)
+    }
+}
+
 /// The merged result of a fleet run.
 pub struct FleetOutput {
     /// The fleet-wide censored dataset, account ids re-numbered
@@ -110,6 +189,11 @@ pub struct FleetOutput {
     /// Merged telemetry: per-shard reports (when enabled) plus the
     /// always-on `fleet.*` gauges.
     pub telemetry: TelemetryReport,
+    /// The merge of *only* the per-shard run reports, in shard order —
+    /// exactly what re-merging a streamed `--telemetry-out` file
+    /// reproduces (no `runner.*` / `fleet.*` series, which exist only
+    /// in-process). Empty unless telemetry was enabled.
+    pub shard_telemetry: TelemetryReport,
     /// Total honey accounts simulated.
     pub accounts: u32,
     /// Shards the population was split into.
@@ -184,6 +268,40 @@ impl FleetOutput {
 /// Run a whole fleet: shard the population, execute the shards on the
 /// runner, merge datasets and telemetry deterministically.
 pub fn run_fleet(cfg: &FleetConfig) -> FleetOutput {
+    run_fleet_observed(cfg, |_, _| {})
+}
+
+/// [`run_fleet`] that additionally streams each shard's telemetry
+/// report as one JSONL line into `telemetry_out`, in shard order,
+/// while the fleet is still running. Telemetry is forced on. Peak
+/// streaming memory is O(jobs) buffered lines (see
+/// `OrderedLineWriter`), so a 100k-account fleet's telemetry leaves
+/// the process without ever being held whole.
+///
+/// The streamed lines re-merge (`TelemetryReport::merge` over
+/// `TelemetryReport::from_json_line`) into exactly
+/// [`FleetOutput::shard_telemetry`] — `pwnd profile --input` relies on
+/// this.
+pub fn run_fleet_streaming<W: Write + Send>(
+    cfg: &FleetConfig,
+    telemetry_out: W,
+) -> io::Result<FleetOutput> {
+    let cfg = cfg.clone().with_telemetry(true);
+    let writer = OrderedLineWriter::new(telemetry_out);
+    let out = run_fleet_observed(&cfg, |index, report| {
+        writer.submit(index, report.to_json_line());
+    });
+    let written = writer.finish()?;
+    debug_assert_eq!(written, out.shards as u64);
+    Ok(out)
+}
+
+/// Shared fleet body: `observe(index, report)` fires in-worker as each
+/// shard completes (completion order, not shard order).
+fn run_fleet_observed<O: Fn(usize, &TelemetryReport) + Sync>(
+    cfg: &FleetConfig,
+    observe: O,
+) -> FleetOutput {
     let sizes = cfg.shard_sizes();
     let configs: Vec<ExperimentConfig> = sizes
         .iter()
@@ -191,11 +309,35 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutput {
         .map(|(i, &size)| cfg.shard_config(i, size))
         .collect();
 
+    // Keep each shard's own report so `shard_telemetry` (the streamed
+    // view) can be merged in shard order after the join.
+    let shard_reports: Mutex<Vec<Option<TelemetryReport>>> =
+        Mutex::new((0..sizes.len()).map(|_| None).collect());
     let runner = Runner::new(cfg.jobs).with_telemetry(cfg.telemetry);
-    let batch = runner.run_map(configs, |output| ShardResult {
-        rss_proxy_bytes: output.rss_proxy_bytes,
-        dataset: output.dataset,
-    });
+    let batch = runner.run_map_observed(
+        configs,
+        |output| ShardResult {
+            rss_proxy_bytes: output.rss_proxy_bytes,
+            dataset: output.dataset,
+        },
+        |index, report| {
+            observe(index, report);
+            if cfg.telemetry {
+                let mut slots = shard_reports
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+                slots[index] = Some(report.clone());
+            }
+        },
+    );
+    let shard_telemetry = TelemetryReport::merge(
+        &shard_reports
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>(),
+    );
 
     // Merge in shard (submission) order, re-numbering account ids into
     // disjoint global ranges.
@@ -230,6 +372,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> FleetOutput {
     FleetOutput {
         dataset,
         telemetry,
+        shard_telemetry,
         accounts: cfg.accounts,
         shards: sizes.len(),
         jobs: batch.jobs,
@@ -279,6 +422,53 @@ mod tests {
         let rendered = out.summary_table().render();
         assert!(rendered.contains("accounts"));
         assert!(rendered.contains("150"));
+    }
+
+    #[test]
+    fn streamed_telemetry_re_merges_into_shard_telemetry_exactly() {
+        let mut buf = Vec::new();
+        let out = run_fleet_streaming(&FleetConfig::new(9, 250, 3), &mut buf)
+            .expect("in-memory write cannot fail");
+        let text = String::from_utf8(buf).expect("JSONL is UTF-8");
+        let parsed: Vec<TelemetryReport> = text
+            .lines()
+            .map(|l| TelemetryReport::from_json_line(l).expect("valid report line"))
+            .collect();
+        // One line per shard, in shard order (shard sizes are 100/100/50,
+        // recoverable from each line's account-indexed counters).
+        assert_eq!(parsed.len(), out.shards);
+        let merged = TelemetryReport::merge(&parsed);
+        assert_eq!(merged, out.shard_telemetry);
+        assert_eq!(merged.phases, out.shard_telemetry.phases);
+        assert_eq!(merged.spans, out.shard_telemetry.spans);
+        assert!(merged.counter("webmail.logins") > 0);
+        assert!(!merged.spans.is_empty());
+        // The streamed view has no in-process-only series.
+        assert_eq!(merged.metrics.gauge("fleet.accounts"), 0);
+        assert_eq!(merged.counter("runner.runs"), 0);
+    }
+
+    #[test]
+    fn ordered_writer_reorders_out_of_order_submissions() {
+        let w = OrderedLineWriter::new(Vec::new());
+        w.submit(2, "two".to_string());
+        w.submit(0, "zero".to_string());
+        w.submit(1, "one".to_string());
+        let state = w
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        assert_eq!(state.written, 3);
+        assert!(state.pending.is_empty());
+        drop(state);
+        let out = {
+            let s = w
+                .state
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            s.out
+        };
+        assert_eq!(String::from_utf8(out).unwrap(), "zero\none\ntwo\n");
     }
 
     #[test]

@@ -193,6 +193,31 @@ impl Runner {
         T: Send,
         F: Fn(RunOutput) -> T + Sync,
     {
+        self.run_map_observed(configs, map, |_, _| {})
+    }
+
+    /// [`Runner::run_map`] with a telemetry observer: `observe(index,
+    /// report)` is called *inside the worker* with each run's snapshot
+    /// as the run completes — in completion order, which the schedule
+    /// decides, so observers that need submission order must reorder
+    /// (see `OrderedReportWriter` in the fleet engine). This is the
+    /// streaming-telemetry hook: each shard's report can leave the
+    /// process as one JSONL line while the batch is still running,
+    /// instead of accumulating every report until the join.
+    ///
+    /// With telemetry disabled the observer still fires, with an empty
+    /// report.
+    pub fn run_map_observed<T, F, O>(
+        &self,
+        configs: Vec<ExperimentConfig>,
+        map: F,
+        observe: O,
+    ) -> MappedBatch<T>
+    where
+        T: Send,
+        F: Fn(RunOutput) -> T + Sync,
+        O: Fn(usize, &TelemetryReport) + Sync,
+    {
         let n = configs.len();
         let batch_sink = self.sink();
         batch_sink.gauge_set("runner.jobs", self.jobs as u64);
@@ -208,11 +233,11 @@ impl Runner {
         let worker_reports: Vec<TelemetryReport> = if workers <= 1 {
             // The sequential path: no threads, no locks contended — the
             // calling thread drains the queue exactly like a plain loop.
-            vec![self.worker_loop(&queue, &slots, &map)]
+            vec![self.worker_loop(&queue, &slots, &map, &observe)]
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| scope.spawn(|| self.worker_loop(&queue, &slots, &map)))
+                    .map(|_| scope.spawn(|| self.worker_loop(&queue, &slots, &map, &observe)))
                     .collect();
                 handles
                     .into_iter()
@@ -262,15 +287,17 @@ impl Runner {
     /// telemetry, map it, park the result in its submission slot; repeat
     /// until the queue drains. Returns the worker's runner-phase report
     /// (queue waits, per-run wall-clock).
-    fn worker_loop<T, F>(
+    fn worker_loop<T, F, O>(
         &self,
         queue: &Mutex<VecDeque<(usize, ExperimentConfig)>>,
         slots: &Mutex<Vec<Option<(T, TelemetryReport)>>>,
         map: &F,
+        observe: &O,
     ) -> TelemetryReport
     where
         T: Send,
         F: Fn(RunOutput) -> T + Sync,
+        O: Fn(usize, &TelemetryReport) + Sync,
     {
         let worker_sink = self.sink();
         loop {
@@ -293,6 +320,7 @@ impl Runner {
             } else {
                 TelemetryReport::default()
             };
+            observe(index, &report);
             let mapped = map(output);
             let mut slots = slots
                 .lock()
@@ -380,6 +408,38 @@ mod tests {
         assert!(batch.telemetry.trace.is_empty());
         assert!(batch.profile().is_none());
         assert!(!batch.outputs[0].telemetry.is_enabled());
+    }
+
+    #[test]
+    fn observer_sees_every_run_report_once_whatever_the_schedule() {
+        let observed = |jobs: usize| {
+            let seen: Mutex<Vec<(usize, TelemetryReport)>> = Mutex::new(Vec::new());
+            let batch = Runner::new(jobs).with_telemetry(true).run_map_observed(
+                quick_configs(50..54),
+                |o| o.dataset_json(),
+                |i, r| {
+                    seen.lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push((i, r.clone()));
+                },
+            );
+            assert_eq!(batch.outputs.len(), 4);
+            let mut seen = seen
+                .into_inner()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            seen.sort_by_key(|(i, _)| *i);
+            seen
+        };
+        let seq = observed(1);
+        let par = observed(4);
+        let indices: Vec<usize> = par.iter().map(|(i, _)| *i).collect();
+        assert_eq!(indices, vec![0, 1, 2, 3]);
+        // Each observed report is the run's own snapshot: schedule-
+        // independent (report equality excludes wall-clock phases).
+        for ((i, a), (_, b)) in seq.iter().zip(&par) {
+            assert_eq!(a, b, "slot {i}");
+            assert!(a.counter("webmail.logins") > 0);
+        }
     }
 
     #[test]

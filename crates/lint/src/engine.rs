@@ -597,6 +597,26 @@ mod tests {
     }
 
     #[test]
+    fn span_instrumentation_is_clean_but_a_literal_clock_read_is_not() {
+        // The span API keeps every clock read (including SpanGuard's
+        // drop-timing) inside the exempt telemetry crate, so a fully
+        // instrumented deterministic fn must produce no findings...
+        let instrumented = "pub fn event_loop(sink: &TelemetrySink) {\n\
+                            let span = sink.span(\"event-loop\");\n\
+                            let _child = span.child(\"event\", &[(\"kind\", \"visit\")]);\n\
+                            let _sub = sink.subspan(\"retry\", &[]);\n\
+                            span.sim(42);\n}";
+        let r = lint_one("crates/sim/src/x.rs", instrumented);
+        assert!(rules_of(&r).is_empty(), "{:?}", r.findings);
+
+        // ...while reading the clock directly at the call site is still
+        // a wall-clock finding in the same crate.
+        let literal = "pub fn event_loop() { let t = Instant::now(); drop(t); }";
+        let r = lint_one("crates/sim/src/x.rs", literal);
+        assert_eq!(rules_of(&r), vec!["wall-clock"]);
+    }
+
+    #[test]
     fn for_loop_over_hash_in_sink_fn_is_flagged() {
         let src = "fn render(m: &HashMap<u32, u32>) -> String {\n\
                    let mut out = String::new();\n\

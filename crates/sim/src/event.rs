@@ -10,8 +10,9 @@
 //! every schedule and pop is counted (`sim.events_scheduled`,
 //! `sim.events_dispatched`, optionally labelled by kind through
 //! [`EventQueue::with_labeler`]) and the pending depth feeds the
-//! `queue.depth_high_water` gauge. A disabled sink costs one branch per
-//! operation and never touches simulation state.
+//! `queue.depth_high_water` gauge and the `sim.queue_depth` histogram.
+//! A disabled sink costs one branch per operation and never touches
+//! simulation state.
 
 use crate::time::SimTime;
 use pwnd_telemetry::TelemetrySink;
@@ -120,6 +121,11 @@ impl<E> EventQueue<E> {
                         .count_labeled("sim.events_dispatched", label(event)),
                     None => self.telemetry.count("sim.events_dispatched"),
                 }
+                // Distribution of pending depth at dispatch time: the
+                // high-water gauge says how bad it got, this says how
+                // loaded the loop usually is.
+                self.telemetry
+                    .observe("sim.queue_depth", self.heap.len() as u64);
             }
         }
         popped
@@ -216,5 +222,9 @@ mod tests {
         assert_eq!(m.counters["sim.events_dispatched{even}"], 3);
         assert_eq!(m.counters["sim.events_dispatched{odd}"], 3);
         assert_eq!(m.gauge("queue.depth_high_water"), 6);
+        let depth = &m.histograms["sim.queue_depth"];
+        assert_eq!(depth.count(), 6);
+        // Depths observed post-pop: 5, 4, 3, 2, 1, 0.
+        assert_eq!(depth.sum(), 15);
     }
 }

@@ -13,7 +13,11 @@
 //! 2. a **structured trace** ([`trace`]) of sim-time-stamped
 //!    [`TraceEvent`] records in a bounded ring buffer with JSONL export;
 //! 3. a **wall-clock phase profiler** ([`profile`]) of spans around the
-//!    experiment's stages, rendered as a phase-time table.
+//!    experiment's stages, rendered as a phase-time table;
+//! 4. a **hierarchical span tree** ([`spantree`]) aggregating nested
+//!    spans by path (`event-loop;event{kind=visit}`), with per-path
+//!    wall time, entry counts, sim-time ranges, self-vs-child
+//!    attribution, and a flamegraph collapsed-stack export.
 //!
 //! ## The zero-overhead contract
 //!
@@ -43,6 +47,7 @@ pub mod metrics;
 pub mod profile;
 pub mod report;
 pub mod sink;
+pub mod spantree;
 pub mod table;
 pub mod trace;
 
@@ -51,5 +56,6 @@ pub use metrics::{HistogramSummary, MetricsSnapshot};
 pub use profile::PhaseSummary;
 pub use report::{format_duration, TelemetryReport};
 pub use sink::{SpanGuard, TelemetrySink};
+pub use spantree::{SpanAttribution, SpanNode, SpanTree, SpanTreeSnapshot};
 pub use table::Table;
 pub use trace::TraceEvent;

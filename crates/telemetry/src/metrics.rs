@@ -78,6 +78,45 @@ impl Histogram {
     pub fn buckets(&self) -> impl Iterator<Item = (u32, u64)> + '_ {
         self.buckets.iter().map(|(&b, &c)| (b, c))
     }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest observation (zero when empty).
+    pub fn min(&self) -> u64 {
+        self.min
+    }
+
+    /// Largest observation (zero when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Rebuild a histogram from its serialized parts (the inverse of
+    /// reading [`buckets`](Histogram::buckets) and the accessors) —
+    /// used by the telemetry JSON round trip.
+    pub fn from_parts(
+        buckets: impl IntoIterator<Item = (u32, u64)>,
+        count: u64,
+        sum: u64,
+        min: u64,
+        max: u64,
+    ) -> Histogram {
+        Histogram {
+            buckets: buckets.into_iter().collect(),
+            count,
+            sum,
+            min,
+            max,
+        }
+    }
 }
 
 /// Condensed view of one histogram.

@@ -7,14 +7,19 @@
 //! counted, never silently lost.
 
 use crate::json::Json;
+use std::borrow::Cow;
 
 /// One traced moment of the simulation.
+///
+/// `kind` is a `Cow` so live instrumentation pays nothing (static
+/// strings) while reports parsed back from streamed JSONL can carry
+/// owned kinds.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Simulation time, seconds since the experiment epoch.
     pub at_secs: u64,
     /// Event kind (`"login"`, `"hijack"`, `"scrape"`, …).
-    pub kind: &'static str,
+    pub kind: Cow<'static, str>,
     /// Account index, when the event concerns one account.
     pub account: Option<u32>,
     /// Free-form detail (outcome, outlet, counts), possibly empty.
@@ -22,8 +27,8 @@ pub struct TraceEvent {
 }
 
 impl TraceEvent {
-    /// Render as one compact JSON object (one JSONL line, no newline).
-    pub fn to_json_line(&self) -> String {
+    /// Render as one JSON object value.
+    pub fn to_json(&self) -> Json {
         let mut fields = vec![
             ("t_secs".to_string(), Json::U(self.at_secs)),
             ("kind".to_string(), Json::Str(self.kind.to_string())),
@@ -34,7 +39,34 @@ impl TraceEvent {
         if !self.detail.is_empty() {
             fields.push(("detail".to_string(), Json::Str(self.detail.clone())));
         }
-        Json::Obj(fields).compact()
+        Json::Obj(fields)
+    }
+
+    /// Render as one compact JSON object (one JSONL line, no newline).
+    pub fn to_json_line(&self) -> String {
+        self.to_json().compact()
+    }
+
+    /// Parse the [`to_json`](TraceEvent::to_json) form back.
+    pub fn from_json(json: &Json) -> Result<TraceEvent, String> {
+        Ok(TraceEvent {
+            at_secs: json
+                .get("t_secs")
+                .and_then(Json::as_u64)
+                .ok_or("trace event: missing t_secs")?,
+            kind: Cow::Owned(
+                json.get("kind")
+                    .and_then(Json::as_str)
+                    .ok_or("trace event: missing kind")?
+                    .to_string(),
+            ),
+            account: json.get("account").and_then(Json::as_u64).map(|a| a as u32),
+            detail: json
+                .get("detail")
+                .and_then(Json::as_str)
+                .unwrap_or_default()
+                .to_string(),
+        })
     }
 }
 
@@ -119,10 +151,25 @@ mod tests {
     fn ev(at: u64) -> TraceEvent {
         TraceEvent {
             at_secs: at,
-            kind: "login",
+            kind: "login".into(),
             account: Some(7),
             detail: "ok".to_string(),
         }
+    }
+
+    #[test]
+    fn json_round_trips_owned_kinds() {
+        let original = ev(42);
+        let parsed = Json::parse(&original.to_json_line()).unwrap();
+        assert_eq!(TraceEvent::from_json(&parsed).unwrap(), original);
+        let bare = TraceEvent {
+            at_secs: 1,
+            kind: "scrape".into(),
+            account: None,
+            detail: String::new(),
+        };
+        let parsed = Json::parse(&bare.to_json_line()).unwrap();
+        assert_eq!(TraceEvent::from_json(&parsed).unwrap(), bare);
     }
 
     #[test]
@@ -143,7 +190,7 @@ mod tests {
         b.push(ev(42));
         b.push(TraceEvent {
             at_secs: 43,
-            kind: "scrape",
+            kind: "scrape".into(),
             account: None,
             detail: String::new(),
         });

@@ -2,20 +2,21 @@
 //!
 //! ```text
 //! pwnd run     [--seed N] [--quick] [--filter-on] [--decoys] [--profile] [--faults NAME]
-//! pwnd trace   [--seed N] [--quick] [--trace-out FILE]
+//! pwnd trace   [--seed N] [--quick] [--trace-out FILE] [--filter SUBSTR] [--limit N]
+//! pwnd profile [--seed N] [--quick] [--collapsed FILE] [--input FILE] [--limit N]
 //! pwnd export  [--seed N] [--out FILE]
 //! pwnd sweep   [--seeds N] [--seed BASE] [--jobs N] [--profile]
 //! pwnd chaos   [--seed N] [--quick] [--faults NAME] [--jobs N] [--profile]
-//! pwnd fleet   [--accounts N] [--jobs N] [--seed N] [--out FILE] [--profile]
-//! pwnd bench   [--json FILE] [--reps N] [--jobs N]
+//! pwnd fleet   [--accounts N] [--jobs N] [--seed N] [--out FILE] [--telemetry-out FILE] [--profile]
+//! pwnd bench   [--json FILE] [--reps N] [--jobs N] [--check FILE] [--tolerance PCT]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
 //! pwnd lint    [--deny] [--json]
 //! ```
 
 use pwnd::cli;
-use pwnd::core::fleet::{run_fleet, FleetConfig};
-use pwnd::telemetry::{Table, TelemetrySink};
+use pwnd::core::fleet::{run_fleet, run_fleet_streaming, FleetConfig};
+use pwnd::telemetry::{Json, Table, TelemetrySink};
 use pwnd::{Experiment, ExperimentConfig, FaultProfile, Runner};
 use std::process::ExitCode;
 
@@ -25,6 +26,7 @@ usage: pwnd <command> [flags]
 commands:
   run      full evaluation report (§4 analysis pipeline)
   trace    run with telemetry and emit the JSONL event trace
+  profile  deep attribution: top spans, per-phase coverage, flamegraph export
   export   write the censored dataset as JSON
   sweep    headline stats across consecutive seeds
   chaos    data-loss ablation: sweep fault-rate factors over one seed
@@ -50,8 +52,19 @@ flags:
   --out FILE       (export) output path (default dataset.json);
                    (fleet) stream the merged dataset there as JSON Lines
   --trace-out FILE (trace) write the JSONL trace here instead of stdout
+  --filter SUBSTR  (trace) keep only events whose kind or detail contains it
+  --limit N        (trace) keep only the last N matching events;
+                   (profile) bound the top-spans table to N rows
+  --collapsed FILE (profile) write the flamegraph collapsed-stack export there
+  --input FILE     (profile) analyse a streamed --telemetry-out JSONL file
+                   offline instead of running an experiment
+  --telemetry-out FILE (fleet) stream one telemetry report line per shard
+                   there while the fleet runs (forces telemetry on)
   --seeds N        (sweep) number of seeds (default 8)
   --reps N         (bench) repetitions per workload (default 5)
+  --check FILE     (bench) compare medians against this baseline JSON and
+                   exit nonzero on regression
+  --tolerance PCT  (bench --check) allowed regression percentage (default 25)
   --deny           (lint) exit nonzero when any finding survives suppression
   --json           (lint) emit the machine-readable report;
                    (bench) takes a FILE argument and writes the JSON there
@@ -74,6 +87,13 @@ struct Args {
     json_out: Option<String>,
     jobs: usize,
     reps: u32,
+    filter: Option<String>,
+    limit: usize,
+    collapsed: Option<String>,
+    input: Option<String>,
+    telemetry_out: Option<String>,
+    check: Option<String>,
+    tolerance: f64,
 }
 
 enum Cli {
@@ -109,6 +129,13 @@ fn parse(mut argv: std::env::Args) -> Cli {
             .map(|n| n.get())
             .unwrap_or(1),
         reps: 5,
+        filter: None,
+        limit: 0,
+        collapsed: None,
+        input: None,
+        telemetry_out: None,
+        check: None,
+        tolerance: 25.0,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -174,6 +201,55 @@ fn parse(mut argv: std::env::Args) -> Cli {
                     return Cli::Invalid;
                 };
                 args.reps = v;
+                i += 2;
+            }
+            "--filter" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.filter = Some(v.clone());
+                i += 2;
+            }
+            "--limit" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.limit = v;
+                i += 2;
+            }
+            "--collapsed" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.collapsed = Some(v.clone());
+                i += 2;
+            }
+            "--input" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.input = Some(v.clone());
+                i += 2;
+            }
+            "--telemetry-out" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.telemetry_out = Some(v.clone());
+                i += 2;
+            }
+            "--check" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.check = Some(v.clone());
+                i += 2;
+            }
+            "--tolerance" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.tolerance = v;
                 i += 2;
             }
             "--quick" => {
@@ -267,8 +343,8 @@ fn main() -> ExitCode {
             let out = Experiment::new(config_of(&args))
                 .with_telemetry(sink.clone())
                 .run();
-            let jsonl = sink.trace_jsonl();
             let report = out.telemetry_report();
+            let jsonl = cli::filtered_trace_jsonl(&report, args.filter.as_deref(), args.limit);
             match &args.trace_out {
                 Some(path) => {
                     if std::fs::write(path, &jsonl).is_err() {
@@ -276,12 +352,52 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                     eprintln!(
-                        "wrote {path} ({} events, {} dropped)",
+                        "wrote {path} ({} events kept of {} held, {} dropped)",
+                        jsonl.lines().count(),
                         report.trace.len(),
                         report.trace_dropped
                     );
                 }
                 None => print!("{jsonl}"),
+            }
+        }
+        "profile" => {
+            // Deep attribution: where did the wall time go, by span
+            // path. Online (run an instrumented experiment) or offline
+            // (re-merge a fleet's streamed --telemetry-out JSONL).
+            let report = match &args.input {
+                Some(path) => {
+                    let text = match std::fs::read_to_string(path) {
+                        Ok(t) => t,
+                        Err(_) => {
+                            eprintln!("cannot read {path}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match cli::merge_telemetry_jsonl(&text) {
+                        Ok(r) => r,
+                        Err(e) => {
+                            eprintln!("{path}: {e}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => {
+                    let sink = TelemetrySink::enabled();
+                    let _ = Experiment::new(config_of(&args))
+                        .with_telemetry(sink.clone())
+                        .run();
+                    sink.report()
+                }
+            };
+            print!("{}", cli::profile_report(&report, args.limit));
+            if let Some(path) = &args.collapsed {
+                let stacks = report.spans.collapsed();
+                if std::fs::write(path, &stacks).is_err() {
+                    eprintln!("cannot write {path}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path} ({} stacks)", stacks.lines().count());
             }
         }
         "export" => {
@@ -336,7 +452,31 @@ fn main() -> ExitCode {
             // for any --jobs value (tests/fleet_scale.rs proves it).
             let cfg =
                 FleetConfig::new(args.seed, args.accounts, args.jobs).with_telemetry(args.profile);
-            let out = run_fleet(&cfg);
+            let out = match &args.telemetry_out {
+                Some(path) => {
+                    // Stream one telemetry report line per shard while
+                    // the fleet runs; telemetry is forced on. Memory
+                    // stays O(jobs) buffered lines whatever --accounts.
+                    let file = match std::fs::File::create(path) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            eprintln!("cannot write {path}");
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match run_fleet_streaming(&cfg, std::io::BufWriter::new(file)) {
+                        Ok(out) => {
+                            eprintln!("wrote {path} ({} report lines)", out.shards);
+                            out
+                        }
+                        Err(_) => {
+                            eprintln!("cannot write {path}");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                None => run_fleet(&cfg),
+            };
             print!("{}", out.summary_table().render());
             if args.out_given {
                 let file = match std::fs::File::create(&args.out) {
@@ -360,6 +500,38 @@ fn main() -> ExitCode {
         }
         "bench" => {
             let report = cli::bench_report(args.reps, args.jobs);
+            if let Some(path) = &args.check {
+                // The perf-regression gate: compare this machine's fresh
+                // medians against a committed baseline.
+                let baseline = match std::fs::read_to_string(path)
+                    .map_err(|e| e.to_string())
+                    .and_then(|t| Json::parse(&t).map_err(|e| e.to_string()))
+                {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("cannot read baseline {path}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let check = cli::bench_check(&report, &baseline, args.tolerance);
+                print!("{}", check.table);
+                if !check.regressions.is_empty() {
+                    eprintln!(
+                        "bench --check: {} regression(s) beyond {}%:",
+                        check.regressions.len(),
+                        args.tolerance
+                    );
+                    for r in &check.regressions {
+                        eprintln!("  {r}");
+                    }
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "bench --check: all metrics within {}% of {path}",
+                    args.tolerance
+                );
+                return ExitCode::SUCCESS;
+            }
             let json = report.pretty();
             match &args.json_out {
                 Some(path) => {

@@ -19,9 +19,12 @@ use pwnd_corpus::persona::PersonaFactory;
 use pwnd_faults::FaultProfile;
 use pwnd_sim::intern::Interner;
 use pwnd_sim::{Rng, SimTime};
-use pwnd_telemetry::{Json, PhaseSummary, Table, TelemetrySink};
+use pwnd_telemetry::{
+    Json, PhaseSummary, SpanTreeSnapshot, Table, TelemetryReport, TelemetrySink, TraceEvent,
+};
 use pwnd_webmail::mailbox::Mailbox;
 use pwnd_webmail::search::SearchIndex;
+use std::collections::BTreeMap;
 use std::time::Duration;
 
 /// The fault-rate scale factors the chaos ablation sweeps.
@@ -141,14 +144,15 @@ fn timed(f: impl FnOnce()) -> Duration {
 }
 
 /// One instrumented experiment run: total wall time plus the run's own
-/// phase spans (corpus, leaks, event-loop, scrape, dataset, …).
-fn timed_run(cfg: ExperimentConfig) -> Vec<PhaseSummary> {
+/// phase spans (corpus, leaks, event-loop, scrape, dataset, …) and the
+/// hierarchical span tree behind them.
+fn timed_run(cfg: ExperimentConfig) -> TelemetryReport {
     let sink = TelemetrySink::enabled();
     {
         let _total = sink.span("total");
         let _ = Experiment::new(cfg).with_telemetry(sink.clone()).run();
     }
-    sink.report().phases
+    sink.report()
 }
 
 /// A 300-message corporate mailbox for the search microbenches, built
@@ -199,6 +203,9 @@ struct WorkloadStats {
     samples: Vec<Duration>,
     /// Per-phase samples across reps, in first-appearance order.
     phases: Vec<(String, Vec<Duration>)>,
+    /// Per-span-path samples across reps (sub-phase granularity), in
+    /// first-appearance order.
+    spans: Vec<(String, Vec<Duration>)>,
 }
 
 impl WorkloadStats {
@@ -207,6 +214,7 @@ impl WorkloadStats {
             name,
             samples: Vec::new(),
             phases: Vec::new(),
+            spans: Vec::new(),
         }
     }
 
@@ -219,6 +227,33 @@ impl WorkloadStats {
         }
     }
 
+    fn push_spans(&mut self, spans: &SpanTreeSnapshot) {
+        for n in &spans.nodes {
+            match self.spans.iter_mut().find(|(p, _)| *p == n.path) {
+                Some((_, v)) => v.push(n.total),
+                None => self.spans.push((n.path.clone(), vec![n.total])),
+            }
+        }
+    }
+
+    fn series_json(series: &[(String, Vec<Duration>)], key: &str) -> Json {
+        Json::Arr(
+            series
+                .iter()
+                .map(|(name, v)| {
+                    Json::Obj(vec![
+                        (key.to_string(), Json::Str(name.clone())),
+                        ("median_ms".to_string(), ms(median(v.clone()))),
+                        (
+                            "min_ms".to_string(),
+                            ms(v.iter().copied().min().unwrap_or_default()),
+                        ),
+                    ])
+                })
+                .collect(),
+        )
+    }
+
     fn to_json(&self) -> Json {
         let mut fields = vec![
             ("name".to_string(), Json::Str(self.name.to_string())),
@@ -229,21 +264,13 @@ impl WorkloadStats {
             ),
         ];
         if !self.phases.is_empty() {
-            let phases: Vec<Json> = self
-                .phases
-                .iter()
-                .map(|(name, v)| {
-                    Json::Obj(vec![
-                        ("name".to_string(), Json::Str(name.clone())),
-                        ("median_ms".to_string(), ms(median(v.clone()))),
-                        (
-                            "min_ms".to_string(),
-                            ms(v.iter().copied().min().unwrap_or_default()),
-                        ),
-                    ])
-                })
-                .collect();
-            fields.push(("phases".to_string(), Json::Arr(phases)));
+            fields.push((
+                "phases".to_string(),
+                Self::series_json(&self.phases, "name"),
+            ));
+        }
+        if !self.spans.is_empty() {
+            fields.push(("spans".to_string(), Self::series_json(&self.spans, "path")));
         }
         Json::Obj(fields)
     }
@@ -265,15 +292,17 @@ pub fn bench_report(reps: u32, jobs: usize) -> Json {
         (&mut paper, ExperimentConfig::paper(1)),
     ] {
         for _ in 0..reps {
-            let phases = timed_run(cfg.clone());
+            let report = timed_run(cfg.clone());
             stats.samples.push(
-                phases
+                report
+                    .phases
                     .iter()
                     .find(|p| p.name == "total")
                     .map(|p| p.total)
                     .unwrap_or_default(),
             );
-            stats.push_phases(&phases);
+            stats.push_phases(&report.phases);
+            stats.push_spans(&report.spans);
         }
         workloads.push(stats.to_json());
     }
@@ -334,6 +363,171 @@ pub fn bench_report(reps: u32, jobs: usize) -> Json {
     ])
 }
 
+// ---- `pwnd bench --check`: the perf-regression gate -------------------
+
+/// Medians below this are too noisy for a multiplicative gate (a
+/// single-digit-ms span median drifts tens of percent between identical
+/// runs); they are reported informationally but never fail the check.
+/// Every workload and hot-phase median sits well above the floor, and a
+/// real regression in a small span also moves its gated parent — that
+/// is what ≥95% attribution coverage buys.
+const CHECK_FLOOR_MS: f64 = 10.0;
+
+/// Flatten a `pwnd-bench/1` document into `(metric, median_ms)` rows:
+/// the workload itself, then `workload/phase:NAME` and
+/// `workload/span:PATH` for its sub-phase breakdowns.
+fn flatten_medians(doc: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let Some(workloads) = doc.get("workloads").and_then(Json::as_array) else {
+        return out;
+    };
+    for w in workloads {
+        let Some(name) = w.get("name").and_then(Json::as_str) else {
+            continue;
+        };
+        if let Some(m) = w.get("median_ms").and_then(Json::as_f64) {
+            out.push((name.to_string(), m));
+        }
+        for (field, tag, key) in [("phases", "phase", "name"), ("spans", "span", "path")] {
+            let Some(arr) = w.get(field).and_then(Json::as_array) else {
+                continue;
+            };
+            for p in arr {
+                let (Some(label), Some(m)) = (
+                    p.get(key).and_then(Json::as_str),
+                    p.get("median_ms").and_then(Json::as_f64),
+                ) else {
+                    continue;
+                };
+                out.push((format!("{name}/{tag}:{label}"), m));
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of a [`bench_check`]: the full comparison table and the
+/// regressions that should fail the gate (empty means pass).
+pub struct BenchCheck {
+    /// Every compared metric, one row each.
+    pub table: String,
+    /// Human-readable descriptions of each failure.
+    pub regressions: Vec<String>,
+}
+
+/// Compare a fresh bench report against a committed baseline: every
+/// baseline metric (workload, phase, and span medians) must exist in
+/// the current report and stay within `tolerance_pct` percent of its
+/// baseline median. Metrics new in the current report are ignored —
+/// adding instrumentation never breaks the gate; removing it does.
+/// Sub-floor baselines (under `CHECK_FLOOR_MS`, 10 ms) are
+/// informational only.
+pub fn bench_check(current: &Json, baseline: &Json, tolerance_pct: f64) -> BenchCheck {
+    let current_map: BTreeMap<String, f64> = flatten_medians(current).into_iter().collect();
+    let mut t = Table::new(&["metric", "baseline ms", "current ms", "delta", "status"]).numeric();
+    let mut regressions = Vec::new();
+    for (name, base) in flatten_medians(baseline) {
+        let Some(&cur) = current_map.get(&name) else {
+            regressions.push(format!("{name}: present in baseline, missing from current"));
+            t.row([
+                name,
+                format!("{base:.3}"),
+                "-".to_string(),
+                "-".to_string(),
+                "MISSING".to_string(),
+            ]);
+            continue;
+        };
+        let delta = if base > 0.0 {
+            100.0 * (cur - base) / base
+        } else {
+            0.0
+        };
+        let gated = base >= CHECK_FLOOR_MS;
+        let regressed = gated && cur > base * (1.0 + tolerance_pct / 100.0);
+        if regressed {
+            regressions.push(format!("{name}: {base:.3}ms -> {cur:.3}ms ({delta:+.1}%)"));
+        }
+        let status = if regressed {
+            "REGRESSED"
+        } else if gated {
+            "ok"
+        } else {
+            "info"
+        };
+        t.row([
+            name,
+            format!("{base:.3}"),
+            format!("{cur:.3}"),
+            format!("{delta:+.1}%"),
+            status.to_string(),
+        ]);
+    }
+    BenchCheck {
+        table: t.render(),
+        regressions,
+    }
+}
+
+// ---- `pwnd profile` and `pwnd trace` rendering ------------------------
+
+/// The `pwnd profile` report: the top-spans table, the per-phase
+/// attribution breakdown, and the flat phase table. `limit` bounds the
+/// top-spans rows (0 = all).
+pub fn profile_report(report: &TelemetryReport, limit: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&report.span_table(limit));
+    out.push('\n');
+    out.push_str(&report.attribution_table());
+    if !report.phases.is_empty() {
+        out.push('\n');
+        out.push_str(&report.phase_table());
+    }
+    out
+}
+
+/// Merge streamed `--telemetry-out` JSONL (one report per line, blank
+/// lines ignored) back into the fleet's shard-merged report.
+pub fn merge_telemetry_jsonl(text: &str) -> Result<TelemetryReport, String> {
+    let mut reports = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        reports.push(
+            TelemetryReport::from_json_line(line).map_err(|e| format!("line {}: {e}", i + 1))?,
+        );
+    }
+    if reports.is_empty() {
+        return Err("no report lines found".to_string());
+    }
+    Ok(TelemetryReport::merge(&reports))
+}
+
+/// The `pwnd trace` JSONL stream: events whose kind or detail contains
+/// `filter` (all, when `None`), keeping only the last `limit` matches
+/// (0 = all).
+pub fn filtered_trace_jsonl(
+    report: &TelemetryReport,
+    filter: Option<&str>,
+    limit: usize,
+) -> String {
+    let matches =
+        |e: &&TraceEvent| filter.is_none_or(|f| e.kind.contains(f) || e.detail.contains(f));
+    let kept: Vec<&TraceEvent> = report.trace.iter().filter(matches).collect();
+    let start = if limit > 0 && kept.len() > limit {
+        kept.len() - limit
+    } else {
+        0
+    };
+    let mut out = String::new();
+    for e in &kept[start..] {
+        out.push_str(&e.to_json_line());
+        out.push('\n');
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,11 +566,150 @@ mod tests {
             assert!(w.get("median_ms").and_then(Json::as_f64).is_some());
             assert!(w.get("min_ms").and_then(Json::as_f64).is_some());
         }
-        // The experiment workloads expose their internal phases.
+        // The experiment workloads expose their internal phases and the
+        // sub-phase span paths behind them.
         let quick = &workloads[0];
         let phases = quick.get("phases").and_then(Json::as_array).unwrap();
         assert!(phases
             .iter()
             .any(|p| { p.get("name").and_then(Json::as_str) == Some("event-loop") }));
+        // The whole run sits under the harness's "total" span, so the
+        // event-loop sub-phases appear as "total;event-loop;event{…}".
+        let spans = quick.get("spans").and_then(Json::as_array).unwrap();
+        assert!(spans.iter().any(|s| {
+            s.get("path")
+                .and_then(Json::as_str)
+                .is_some_and(|p| p.contains("event-loop;event{"))
+        }));
+    }
+
+    /// A minimal `pwnd-bench/1` document with one workload, one phase,
+    /// one span, every median scaled by `scale`.
+    fn bench_doc(scale: f64) -> Json {
+        let entry = |key: &str, label: &str, m: f64| {
+            Json::Obj(vec![
+                (key.to_string(), Json::Str(label.to_string())),
+                ("median_ms".to_string(), Json::F(m * scale)),
+                ("min_ms".to_string(), Json::F(m * scale)),
+            ])
+        };
+        Json::Obj(vec![
+            ("schema".to_string(), Json::Str("pwnd-bench/1".to_string())),
+            (
+                "workloads".to_string(),
+                Json::Arr(vec![Json::Obj(vec![
+                    (
+                        "name".to_string(),
+                        Json::Str("end_to_end_quick".to_string()),
+                    ),
+                    ("median_ms".to_string(), Json::F(100.0 * scale)),
+                    ("min_ms".to_string(), Json::F(90.0 * scale)),
+                    (
+                        "phases".to_string(),
+                        Json::Arr(vec![entry("name", "event-loop", 60.0)]),
+                    ),
+                    (
+                        "spans".to_string(),
+                        Json::Arr(vec![
+                            entry("path", "event-loop;event{kind=visit}", 40.0),
+                            // Sub-floor: informational, never gated.
+                            entry("path", "event-loop;schedule", 0.01 / scale),
+                        ]),
+                    ),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn bench_check_passes_when_flat_or_faster() {
+        let base = bench_doc(1.0);
+        for current in [bench_doc(1.0), bench_doc(0.5)] {
+            let check = bench_check(&current, &base, 25.0);
+            assert!(check.regressions.is_empty(), "{:?}", check.regressions);
+            assert!(check.table.contains("event_to") || check.table.contains("end_to_end_quick"));
+            assert!(check.table.contains("ok"));
+            assert!(check.table.contains("info"), "sub-floor span is info-only");
+        }
+    }
+
+    #[test]
+    fn bench_check_fails_a_synthetic_2x_regression() {
+        // The negative test the CI gate depends on: a doubled phase
+        // time must trip the check and name the offender.
+        let check = bench_check(&bench_doc(2.0), &bench_doc(1.0), 25.0);
+        assert!(!check.regressions.is_empty());
+        assert!(check
+            .regressions
+            .iter()
+            .any(|r| r.contains("end_to_end_quick/phase:event-loop")));
+        assert!(check.table.contains("REGRESSED"));
+        // The sub-floor span doubled too but stays informational.
+        assert!(!check
+            .regressions
+            .iter()
+            .any(|r| r.contains("event-loop;schedule")));
+    }
+
+    #[test]
+    fn bench_check_fails_on_missing_metric_and_ignores_new_ones() {
+        let base = bench_doc(1.0);
+        let empty = Json::Obj(vec![("workloads".to_string(), Json::Arr(vec![]))]);
+        let check = bench_check(&empty, &base, 25.0);
+        assert!(check
+            .regressions
+            .iter()
+            .any(|r| r.contains("missing from current")));
+        // The other direction is fine: a richer current report passes
+        // against a sparser baseline.
+        let check = bench_check(&base, &empty, 25.0);
+        assert!(check.regressions.is_empty());
+    }
+
+    #[test]
+    fn trace_filter_and_limit_select_the_tail() {
+        let sink = TelemetrySink::enabled();
+        for t in 0..10u64 {
+            sink.trace(t, if t % 2 == 0 { "login" } else { "scrape" }, Some(1));
+        }
+        let report = sink.report();
+        let all = filtered_trace_jsonl(&report, None, 0);
+        assert_eq!(all.lines().count(), 10);
+        let logins = filtered_trace_jsonl(&report, Some("login"), 0);
+        assert_eq!(logins.lines().count(), 5);
+        let tail = filtered_trace_jsonl(&report, Some("login"), 2);
+        assert_eq!(tail.lines().count(), 2);
+        assert!(tail.contains("\"t_secs\":8"));
+        assert!(tail.contains("\"t_secs\":6"));
+    }
+
+    #[test]
+    fn profile_report_renders_spans_and_attribution() {
+        let sink = TelemetrySink::enabled();
+        {
+            let outer = sink.span("event-loop");
+            outer.sim(42);
+            drop(outer.child("event", &[("kind", "visit")]));
+        }
+        let text = profile_report(&sink.report(), 0);
+        assert!(text.contains("event-loop;event{kind=visit}"));
+        assert!(text.contains("coverage") || text.contains('%'));
+    }
+
+    #[test]
+    fn merge_telemetry_jsonl_round_trips_shard_lines() {
+        let shard = |seed: u64| {
+            let sink = TelemetrySink::enabled();
+            sink.count_by("runs", seed);
+            drop(sink.span("event-loop"));
+            sink.report()
+        };
+        let reports = [shard(1), shard(2)];
+        let text: String = reports.iter().map(|r| r.to_json_line() + "\n").collect();
+        let merged = merge_telemetry_jsonl(&text).unwrap();
+        assert_eq!(merged, TelemetryReport::merge(&reports));
+        assert_eq!(merged.counter("runs"), 3);
+        assert!(merge_telemetry_jsonl("").is_err());
+        assert!(merge_telemetry_jsonl("not json\n").is_err());
     }
 }

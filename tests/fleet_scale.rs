@@ -4,8 +4,9 @@
 //! `--jobs` was — and the streaming export loses nothing relative to
 //! the in-memory JSON artifact.
 
-use pwnd::core::fleet::{run_fleet, FleetConfig};
+use pwnd::core::fleet::{run_fleet, run_fleet_streaming, FleetConfig};
 use pwnd::monitor::export::read_jsonl;
+use pwnd::telemetry::TelemetryReport;
 use pwnd::{Experiment, ExperimentConfig};
 
 /// `pwnd fleet --accounts 500`: the merged dataset and every rendered
@@ -37,6 +38,57 @@ fn fleet_500_accounts_is_byte_identical_across_job_counts() {
         strip_jobs(seq.summary_table().render()),
         strip_jobs(par.summary_table().render())
     );
+}
+
+/// `pwnd fleet --telemetry-out`: the streamed per-shard telemetry is
+/// one JSONL report line per shard, in shard order whatever the
+/// schedule, and re-merging the lines offline reproduces the in-process
+/// merged report exactly — including phase timings and the span tree.
+#[test]
+fn streamed_fleet_telemetry_is_ordered_complete_and_remergeable() {
+    let cfg = FleetConfig::new(2016, 500, 4);
+    let mut stream = Vec::new();
+    let output = run_fleet_streaming(&cfg, &mut stream).unwrap();
+
+    let text = std::str::from_utf8(&stream).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), output.shards, "one report line per shard");
+
+    let reports: Vec<TelemetryReport> = lines
+        .iter()
+        .map(|l| TelemetryReport::from_json_line(l).unwrap())
+        .collect();
+    let remerged = TelemetryReport::merge(&reports);
+    assert_eq!(remerged, output.shard_telemetry);
+    assert_eq!(
+        remerged.spans.structure(),
+        output.shard_telemetry.spans.structure()
+    );
+    assert_eq!(
+        remerged.phases.iter().map(|p| &p.name).collect::<Vec<_>>(),
+        output
+            .shard_telemetry
+            .phases
+            .iter()
+            .map(|p| &p.name)
+            .collect::<Vec<_>>()
+    );
+
+    // Shard order, not completion order: each line carries its shard's
+    // own account count, so the merged counter totals the fleet.
+    let dispatched: u64 = reports
+        .iter()
+        .map(|r| r.metrics.counter("sim.events_dispatched"))
+        .sum();
+    assert_eq!(
+        remerged.metrics.counter("sim.events_dispatched"),
+        dispatched
+    );
+    assert!(dispatched > 0, "shards really dispatched sim events");
+
+    // Streaming is an observation: the dataset matches the plain run.
+    let plain = run_fleet(&cfg);
+    assert_eq!(plain.dataset_json(), output.dataset_json());
 }
 
 /// Streaming a dataset out as JSON Lines and reassembling it yields the
