@@ -19,6 +19,8 @@
 //! * [`figures`] — data series for Figures 1–6;
 //! * [`tables`] — the §4.1 overview, Table 1, origin statistics
 //!   (Tor / blacklist / country counts) and Table 2;
+//! * [`stream`] — incremental builders for the same statistics, fed
+//!   record-by-record from an on-disk fleet store;
 //! * [`sophistication`] — the §4.5 per-outlet stealth scores;
 //! * [`report`] — ASCII rendering of the full evaluation.
 
@@ -30,6 +32,7 @@ pub mod figures;
 pub mod report;
 pub mod sophistication;
 pub mod stats;
+pub mod stream;
 pub mod tables;
 pub mod taxonomy;
 pub mod tfidf;

@@ -29,43 +29,18 @@ pub struct Overview {
     pub accounts_hijacked: usize,
 }
 
-/// Compute the overview from the dataset.
+/// Compute the overview from the dataset — a thin wrapper over the
+/// streaming [`OverviewBuilder`](crate::stream::OverviewBuilder), so
+/// the in-memory and store-streaming paths share one implementation.
 pub fn overview(ds: &Dataset) -> Overview {
-    let mut accessed: BTreeMap<String, HashSet<u32>> = BTreeMap::new();
-    let mut access_counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut b = crate::stream::OverviewBuilder::new();
+    for rec in &ds.accounts {
+        b.add_account(rec);
+    }
     for a in &ds.accesses {
-        if let Some(rec) = ds.account_record(a.account) {
-            accessed
-                .entry(rec.outlet.clone())
-                .or_default()
-                .insert(a.account);
-            *access_counts.entry(rec.outlet.clone()).or_insert(0) += 1;
-        }
+        b.add_access(a);
     }
-    Overview {
-        total_accesses: ds.accesses.len(),
-        emails_opened: ds.accesses.iter().map(|a| a.opened as u64).sum(),
-        emails_sent: ds.accesses.iter().map(|a| a.sent as u64).sum(),
-        drafts_created: ds.accesses.iter().map(|a| a.drafts as u64).sum(),
-        accounts_accessed: ds
-            .accesses
-            .iter()
-            .map(|a| a.account)
-            .collect::<HashSet<_>>()
-            .len(),
-        accessed_by_outlet: accessed.into_iter().map(|(k, v)| (k, v.len())).collect(),
-        accesses_by_outlet: access_counts,
-        accounts_blocked: ds
-            .accounts
-            .iter()
-            .filter(|r| r.block_detected_secs.is_some())
-            .count(),
-        accounts_hijacked: ds
-            .accounts
-            .iter()
-            .filter(|r| r.hijack_detected_secs.is_some())
-            .count(),
-    }
+    b.finish()
 }
 
 /// One Table 1 row.

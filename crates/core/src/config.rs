@@ -137,6 +137,22 @@ impl ExperimentConfig {
             ..SecurityPolicy::default()
         }
     }
+
+    /// A content hash of everything that determines this config's
+    /// output. Two configs with equal fingerprints produce
+    /// byte-identical datasets, so the fleet store records the
+    /// fingerprint per shard and refuses to reuse a shard file whose
+    /// config has drifted.
+    ///
+    /// The hash covers the version-tagged `Debug` representation:
+    /// `Debug` derives span every field recursively, so any field
+    /// change — here or in a nested type like [`LeakPlan`] — changes
+    /// the fingerprint. The version tag lets a future format break
+    /// invalidate old stores explicitly.
+    pub fn fingerprint(&self) -> String {
+        let repr = format!("pwnd-experiment-config/1 {self:?}");
+        crate::hash::Sha256::digest_hex(repr.as_bytes())
+    }
 }
 
 #[cfg(test)]
@@ -160,5 +176,21 @@ mod tests {
         assert_eq!(c.plan.total_accounts(), 100);
         assert!(c.min_emails < 200);
         assert!(c.observation_days < 236);
+    }
+
+    #[test]
+    fn fingerprint_tracks_every_output_relevant_field() {
+        let base = ExperimentConfig::quick(7);
+        assert_eq!(base.fingerprint(), ExperimentConfig::quick(7).fingerprint());
+
+        let mut seed = base.clone();
+        seed.seed = 8;
+        let mut days = base.clone();
+        days.observation_days += 1;
+        let mut faults = base.clone();
+        faults.faults.profile = pwnd_faults::FaultProfile::light();
+        for (name, variant) in [("seed", seed), ("days", days), ("faults", faults)] {
+            assert_ne!(variant.fingerprint(), base.fingerprint(), "{name}");
+        }
     }
 }

@@ -94,6 +94,61 @@ impl FleetConfig {
         cfg.plan = LeakPlan::scaled(size as usize);
         cfg
     }
+
+    /// Every shard this fleet decomposes into, in shard order — the
+    /// identity the fleet store records per shard file and re-derives
+    /// on resume to decide what can be reused.
+    pub fn shard_specs(&self) -> Vec<ShardSpec> {
+        self.shard_sizes()
+            .into_iter()
+            .enumerate()
+            .map(|(index, accounts)| {
+                let cfg = self.shard_config(index, accounts);
+                ShardSpec {
+                    index,
+                    seed: cfg.seed,
+                    accounts,
+                    account_base: (index as u32) * SHARD_ACCOUNTS,
+                    config_fingerprint: cfg.fingerprint(),
+                    fault_profile: cfg.faults.profile.describe().to_string(),
+                }
+            })
+            .collect()
+    }
+
+    /// The fingerprint of the fleet's config *template*: shard 0's
+    /// config at the canonical shard size with the seed zeroed out.
+    /// Every shard of this fleet shares it (shards differ only in seed
+    /// and plan size, which the per-shard spec records separately), so
+    /// the store can detect "same seed, different experiment" in one
+    /// comparison.
+    pub fn template_fingerprint(&self) -> String {
+        let mut cfg = self.shard_config(0, SHARD_ACCOUNTS);
+        cfg.seed = 0;
+        cfg.fingerprint()
+    }
+}
+
+/// The identity of one shard of a fleet: everything that determines the
+/// shard's output bytes. Two specs being equal means the shard files
+/// are interchangeable — which is exactly the reuse rule the fleet
+/// store applies on resume.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardSpec {
+    /// Position in the fleet (0-based).
+    pub index: usize,
+    /// The shard's derived experiment seed (`fleet seed + index`).
+    pub seed: u64,
+    /// Honey accounts this shard simulates.
+    pub accounts: u32,
+    /// First fleet-global account id in the shard's range
+    /// (`index * SHARD_ACCOUNTS`).
+    pub account_base: u32,
+    /// [`ExperimentConfig::fingerprint`] of the shard's full config.
+    pub config_fingerprint: String,
+    /// Canonical fault-profile name (informational; the fingerprint is
+    /// what guards reuse).
+    pub fault_profile: String,
 }
 
 /// What one shard contributes to the merge: its censored dataset and
@@ -296,6 +351,100 @@ pub fn run_fleet_streaming<W: Write + Send>(
     Ok(out)
 }
 
+/// What a store-backed partial fleet run reports: no merged dataset —
+/// the shards left the process through the `on_shard` callback — just
+/// the batch telemetry and accounting.
+#[derive(Debug)]
+pub struct ShardRunSummary {
+    /// Merged batch telemetry (`runner.*` series plus per-shard reports
+    /// when [`FleetConfig::telemetry`] is on).
+    pub telemetry: TelemetryReport,
+    /// Worker threads the shards ran across.
+    pub jobs: usize,
+    /// High-water per-shard resident state, in bytes.
+    pub peak_rss_proxy: u64,
+    /// Shards actually executed.
+    pub shards_run: usize,
+}
+
+/// Run only the given shards of a fleet, handing each shard's finished
+/// JSONL bytes (account ids already rewritten to the shard's global
+/// range) to `on_shard` from inside the worker that produced it.
+///
+/// This is the fleet store's engine: the store decides which shards
+/// need (re-)running, and `on_shard` writes each one durably the moment
+/// it completes — so a crash costs at most the shards in flight, and
+/// peak memory is O(jobs) serialized shards, never the merged fleet.
+/// Because ids are globalized before serialization, shard files merge
+/// by per-record-kind concatenation in shard order, byte-identical to
+/// [`FleetOutput::write_jsonl`] on an in-memory run.
+///
+/// `on_shard` may be called in any completion order; its first error is
+/// latched, remaining completions are discarded, and the error is
+/// returned after the batch joins.
+pub fn run_fleet_shards<F>(
+    cfg: &FleetConfig,
+    specs: &[ShardSpec],
+    on_shard: F,
+) -> io::Result<ShardRunSummary>
+where
+    F: Fn(&ShardSpec, &[u8]) -> io::Result<()> + Sync,
+{
+    let configs: Vec<ExperimentConfig> = specs
+        .iter()
+        .map(|s| cfg.shard_config(s.index, s.accounts))
+        .collect();
+    let error: Mutex<Option<io::Error>> = Mutex::new(None);
+    let runner = Runner::new(cfg.jobs).with_telemetry(cfg.telemetry);
+    let batch = runner.run_map_indexed(configs, |slot, output| {
+        let spec = &specs[slot];
+        let mut dataset = output.dataset;
+        for a in &mut dataset.accesses {
+            a.account += spec.account_base;
+        }
+        for a in &mut dataset.accounts {
+            a.account += spec.account_base;
+        }
+        for g in &mut dataset.gaps {
+            g.account += spec.account_base;
+        }
+        let outcome = (|| {
+            let mut bytes = Vec::new();
+            let mut writer = DatasetWriter::new(&mut bytes);
+            writer.write_dataset(&dataset)?;
+            writer.finish()?;
+            let failing = error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .is_some();
+            if failing {
+                Ok(()) // the batch is already dead; drop this shard
+            } else {
+                on_shard(spec, &bytes)
+            }
+        })();
+        if let Err(e) = outcome {
+            error
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .get_or_insert(e);
+        }
+        output.rss_proxy_bytes
+    });
+    if let Some(e) = error
+        .into_inner()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+    {
+        return Err(e);
+    }
+    Ok(ShardRunSummary {
+        telemetry: batch.telemetry,
+        jobs: batch.jobs,
+        peak_rss_proxy: batch.outputs.into_iter().max().unwrap_or(0),
+        shards_run: specs.len(),
+    })
+}
+
 /// Shared fleet body: `observe(index, report)` fires in-worker as each
 /// shard completes (completion order, not shard order).
 fn run_fleet_observed<O: Fn(usize, &TelemetryReport) + Sync>(
@@ -469,6 +618,82 @@ mod tests {
             s.out
         };
         assert_eq!(String::from_utf8(out).unwrap(), "zero\none\ntwo\n");
+    }
+
+    #[test]
+    fn shard_specs_pin_the_full_shard_identity() {
+        let c = FleetConfig::new(40, 250, 2);
+        let specs = c.shard_specs();
+        assert_eq!(specs.len(), 3);
+        assert_eq!(specs[0].seed, 40);
+        assert_eq!(specs[2].seed, 42);
+        assert_eq!(specs[2].accounts, 50);
+        assert_eq!(specs[2].account_base, 200);
+        assert_eq!(specs[0].fault_profile, "none");
+        // Fingerprints differ across shards (seed and plan size differ)
+        // but are reproducible.
+        assert_ne!(specs[0].config_fingerprint, specs[1].config_fingerprint);
+        assert_eq!(specs, c.shard_specs());
+        // The template fingerprint ignores the fleet seed but tracks the
+        // experiment shape.
+        assert_eq!(
+            c.template_fingerprint(),
+            FleetConfig::new(99, 250, 8).template_fingerprint()
+        );
+    }
+
+    #[test]
+    fn partial_shard_runs_merge_byte_identically_to_the_in_memory_fleet() {
+        let cfg = FleetConfig::new(11, 250, 3);
+        let specs = cfg.shard_specs();
+        let shards: Mutex<BTreeMap<usize, Vec<u8>>> = Mutex::new(BTreeMap::new());
+        let summary = run_fleet_shards(&cfg, &specs, |spec, bytes| {
+            shards
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(spec.index, bytes.to_vec());
+            Ok(())
+        })
+        .expect("collecting into memory cannot fail");
+        assert_eq!(summary.shards_run, 3);
+        assert!(summary.peak_rss_proxy > 0);
+
+        // Merging the shard files is per-record-kind concatenation in
+        // shard order — no reparsing, so no float round-trips.
+        let shards = shards
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut merged = String::new();
+        for tag in ["access", "account", "opened_text", "gap"] {
+            let prefix = format!("{{\"record\":\"{tag}\"");
+            for bytes in shards.values() {
+                for line in std::str::from_utf8(bytes).expect("JSONL is UTF-8").lines() {
+                    if line.starts_with(&prefix) {
+                        merged.push_str(line);
+                        merged.push('\n');
+                    }
+                }
+            }
+        }
+        let mut direct = Vec::new();
+        run_fleet(&cfg)
+            .write_jsonl(&mut direct)
+            .expect("in-memory write cannot fail");
+        assert_eq!(merged.into_bytes(), direct);
+    }
+
+    #[test]
+    fn shard_callback_errors_are_latched_and_returned() {
+        let cfg = FleetConfig::new(5, 200, 2);
+        let specs = cfg.shard_specs();
+        let err = run_fleet_shards(&cfg, &specs, |spec, _| {
+            Err(io::Error::other(format!(
+                "disk full at shard {}",
+                spec.index
+            )))
+        })
+        .expect_err("callback failure must surface");
+        assert!(err.to_string().contains("disk full"));
     }
 
     #[test]

@@ -1,0 +1,224 @@
+//! A dependency-free SHA-256 for store integrity.
+//!
+//! The fleet store (PR 7) names every shard file and config by content
+//! hash, so corruption — a truncated write, a flipped bit, a stale file
+//! from another experiment — is *detected*, never silently merged. The
+//! build environment has no crates.io access, so the workspace carries
+//! its own implementation of FIPS 180-4 SHA-256. It is pure
+//! computation: no IO, no clocks, no ambient state — the same bytes
+//! always hash to the same digest, which is exactly the property the
+//! resume protocol leans on.
+
+/// Incremental SHA-256 (FIPS 180-4).
+///
+/// ```
+/// use pwnd_core::hash::Sha256;
+///
+/// // The empty-input digest is the best-known test vector.
+/// assert_eq!(
+///     Sha256::digest_hex(b""),
+///     "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855",
+/// );
+/// ```
+#[derive(Clone)]
+pub struct Sha256 {
+    state: [u32; 8],
+    /// Bytes fed so far (message length for the final padding).
+    length: u64,
+    block: [u8; 64],
+    fill: usize,
+}
+
+const K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+impl Default for Sha256 {
+    fn default() -> Sha256 {
+        Sha256::new()
+    }
+}
+
+impl Sha256 {
+    /// A fresh hasher.
+    pub fn new() -> Sha256 {
+        Sha256 {
+            state: [
+                0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+                0x5be0cd19,
+            ],
+            length: 0,
+            block: [0; 64],
+            fill: 0,
+        }
+    }
+
+    /// Absorb `data`.
+    pub fn update(&mut self, data: &[u8]) {
+        self.length = self.length.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        if self.fill > 0 {
+            let take = rest.len().min(64 - self.fill);
+            self.block[self.fill..self.fill + take].copy_from_slice(&rest[..take]);
+            self.fill += take;
+            rest = &rest[take..];
+            if self.fill < 64 {
+                // Block still not full — everything was buffered.
+                return;
+            }
+            let block = self.block;
+            self.compress(&block);
+            self.fill = 0;
+        }
+        while rest.len() >= 64 {
+            let (head, tail) = rest.split_at(64);
+            let mut block = [0u8; 64];
+            block.copy_from_slice(head);
+            self.compress(&block);
+            rest = tail;
+        }
+        self.block[..rest.len()].copy_from_slice(rest);
+        self.fill = rest.len();
+    }
+
+    /// Finish and return the 32-byte digest.
+    pub fn finalize(mut self) -> [u8; 32] {
+        let bit_len = self.length.wrapping_mul(8);
+        self.update(&[0x80]);
+        while self.fill != 56 {
+            self.update(&[0]);
+        }
+        // Length goes in raw (bypassing update's length bookkeeping,
+        // which no longer matters).
+        self.block[56..64].copy_from_slice(&bit_len.to_be_bytes());
+        let block = self.block;
+        self.compress(&block);
+        let mut out = [0u8; 32];
+        for (chunk, word) in out.chunks_exact_mut(4).zip(self.state) {
+            chunk.copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+
+    /// One-shot digest as lowercase hex — the form manifests store.
+    pub fn digest_hex(data: &[u8]) -> String {
+        let mut h = Sha256::new();
+        h.update(data);
+        hex(&h.finalize())
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 64];
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = self.state;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = h
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            h = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        for (s, v) in self.state.iter_mut().zip([a, b, c, d, e, f, g, h]) {
+            *s = s.wrapping_add(v);
+        }
+    }
+}
+
+/// Lowercase hex of a digest.
+pub fn hex(bytes: &[u8]) -> String {
+    const TABLE: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(TABLE[(b >> 4) as usize] as char);
+        out.push(TABLE[(b & 0xf) as usize] as char);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// FIPS 180-4 / RFC 6234 test vectors.
+    #[test]
+    fn known_vectors() {
+        assert_eq!(
+            Sha256::digest_hex(b""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+        );
+        assert_eq!(
+            Sha256::digest_hex(b"abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+        );
+        assert_eq!(
+            Sha256::digest_hex(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+        );
+        // One million 'a's — exercises many blocks.
+        let mut h = Sha256::new();
+        let chunk = [b'a'; 1000];
+        for _ in 0..1000 {
+            h.update(&chunk);
+        }
+        assert_eq!(
+            hex(&h.finalize()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+        );
+    }
+
+    /// Chunking must not matter: hashing in odd-sized pieces equals the
+    /// one-shot digest.
+    #[test]
+    fn chunking_invariance() {
+        let data: Vec<u8> = (0..257u16).map(|i| (i % 251) as u8).collect();
+        let oneshot = Sha256::digest_hex(&data);
+        for step in [1usize, 3, 63, 64, 65, 100] {
+            let mut h = Sha256::new();
+            for piece in data.chunks(step) {
+                h.update(piece);
+            }
+            assert_eq!(hex(&h.finalize()), oneshot, "chunk size {step}");
+        }
+    }
+
+    #[test]
+    fn single_byte_change_changes_digest() {
+        let base = b"the fleet store leans on this".to_vec();
+        let d0 = Sha256::digest_hex(&base);
+        for i in 0..base.len() {
+            let mut m = base.clone();
+            m[i] ^= 1;
+            assert_ne!(Sha256::digest_hex(&m), d0, "byte {i}");
+        }
+    }
+}

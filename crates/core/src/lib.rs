@@ -28,6 +28,7 @@
 pub mod config;
 pub mod experiment;
 pub mod fleet;
+pub mod hash;
 pub mod output;
 pub mod runner;
 

@@ -196,6 +196,19 @@ impl Runner {
         self.run_map_observed(configs, map, |_, _| {})
     }
 
+    /// [`Runner::run_map`] where `map` also receives the run's
+    /// submission index. The fleet store uses this to rewrite each
+    /// shard's account ids to their fleet-global range *inside the
+    /// worker*, so shard files can be merged by concatenation without
+    /// ever reparsing them.
+    pub fn run_map_indexed<T, F>(&self, configs: Vec<ExperimentConfig>, map: F) -> MappedBatch<T>
+    where
+        T: Send,
+        F: Fn(usize, RunOutput) -> T + Sync,
+    {
+        self.run_map_indexed_observed(configs, map, |_, _| {})
+    }
+
     /// [`Runner::run_map`] with a telemetry observer: `observe(index,
     /// report)` is called *inside the worker* with each run's snapshot
     /// as the run completes — in completion order, which the schedule
@@ -216,6 +229,25 @@ impl Runner {
     where
         T: Send,
         F: Fn(RunOutput) -> T + Sync,
+        O: Fn(usize, &TelemetryReport) + Sync,
+    {
+        self.run_map_indexed_observed(configs, |_, output| map(output), observe)
+    }
+
+    /// The full-generality primitive behind every `run_*` method: `map`
+    /// receives `(submission index, output)` inside the worker, and
+    /// `observe(index, report)` fires per completed run in completion
+    /// order. Results still land in submission order whatever the
+    /// schedule.
+    pub fn run_map_indexed_observed<T, F, O>(
+        &self,
+        configs: Vec<ExperimentConfig>,
+        map: F,
+        observe: O,
+    ) -> MappedBatch<T>
+    where
+        T: Send,
+        F: Fn(usize, RunOutput) -> T + Sync,
         O: Fn(usize, &TelemetryReport) + Sync,
     {
         let n = configs.len();
@@ -296,7 +328,7 @@ impl Runner {
     ) -> TelemetryReport
     where
         T: Send,
-        F: Fn(RunOutput) -> T + Sync,
+        F: Fn(usize, RunOutput) -> T + Sync,
         O: Fn(usize, &TelemetryReport) + Sync,
     {
         let worker_sink = self.sink();
@@ -321,7 +353,7 @@ impl Runner {
                 TelemetryReport::default()
             };
             observe(index, &report);
-            let mapped = map(output);
+            let mapped = map(index, output);
             let mut slots = slots
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -439,6 +471,17 @@ mod tests {
         for ((i, a), (_, b)) in seq.iter().zip(&par) {
             assert_eq!(a, b, "slot {i}");
             assert!(a.counter("webmail.logins") > 0);
+        }
+    }
+
+    #[test]
+    fn indexed_map_sees_each_submission_index_in_the_worker() {
+        let batch =
+            Runner::new(4).run_map_indexed(quick_configs(60..64), |i, o| (i, o.dataset_json()));
+        for (slot, (seen, json)) in batch.outputs.iter().enumerate() {
+            assert_eq!(*seen, slot, "map saw its own submission index");
+            let solo = Experiment::new(ExperimentConfig::quick(60 + slot as u64)).run();
+            assert_eq!(*json, solo.dataset_json(), "slot {slot}");
         }
     }
 

@@ -38,8 +38,27 @@ impl RetryPolicy {
     /// by `roll` (a uniform `[0, 1)` draw the caller supplies — the
     /// policy itself holds no RNG, so schedules stay reproducible).
     pub fn delay(&self, retry: u32, roll: f64) -> SimDuration {
-        let raw = self.base.as_secs() as f64 * self.factor.powi(retry as i32);
-        let capped = raw.min(self.cap.as_secs() as f64);
+        let cap_secs = self.cap.as_secs() as f64;
+        // The exponential step is a saturating multiply, not a closed-form
+        // power: `factor.powi(retry as i32)` wraps the exponent negative
+        // once `retry` passes `i32::MAX` — collapsing a huge backoff to
+        // under a second — and a u64 restatement would overflow long
+        // before that. Growing one factor at a time and stopping at the
+        // cap (or at a fixed point: factor 1.0, underflow to zero,
+        // saturation at infinity) cannot wrap or overflow at any attempt
+        // count, and is exact for the power-of-two factors in use.
+        let mut raw = self.base.as_secs() as f64;
+        for _ in 0..retry {
+            if raw >= cap_secs {
+                break;
+            }
+            let next = raw * self.factor;
+            if next == raw {
+                break;
+            }
+            raw = next;
+        }
+        let capped = raw.min(cap_secs);
         let j = self.jitter.clamp(0.0, 1.0);
         let scale = 1.0 - j + 2.0 * j * roll.clamp(0.0, 1.0);
         SimDuration::from_secs((capped * scale).max(1.0) as u64)
@@ -82,5 +101,41 @@ mod tests {
     fn same_roll_same_delay() {
         let p = RetryPolicy::default();
         assert_eq!(p.delay(2, 0.37), p.delay(2, 0.37));
+    }
+
+    #[test]
+    fn attempt_64_and_beyond_saturate_at_the_cap() {
+        let p = RetryPolicy {
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        // 30s * 2^64 overflows u64 (and 2^(2^31) overflows the powi
+        // exponent); the saturating step must pin both to the cap.
+        assert_eq!(p.delay(64, 0.5), p.cap);
+        assert_eq!(p.delay(u32::MAX, 0.5), p.cap);
+        // Delays never decrease on the way up.
+        let mut prev = SimDuration::from_secs(0);
+        for retry in 0..70 {
+            let d = p.delay(retry, 0.5);
+            assert!(d >= prev, "retry {retry} shrank: {d:?} < {prev:?}");
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn degenerate_factors_terminate_and_stay_sane() {
+        let flat = RetryPolicy {
+            factor: 1.0,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        assert_eq!(flat.delay(u32::MAX, 0.5), flat.base);
+        let shrinking = RetryPolicy {
+            factor: 0.5,
+            jitter: 0.0,
+            ..RetryPolicy::default()
+        };
+        // Shrinks toward the 1-second floor, never panics or wraps.
+        assert_eq!(shrinking.delay(u32::MAX, 0.5), SimDuration::from_secs(1));
     }
 }

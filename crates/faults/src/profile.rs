@@ -109,6 +109,21 @@ impl FaultProfile {
         }
     }
 
+    /// The canonical name of this profile — the inverse of
+    /// [`FaultProfile::by_name`] for the three presets, `"custom"` for
+    /// anything else (e.g. a [`FaultProfile::scaled`] chaos point). The
+    /// fleet-store manifest records this per shard; it is informational
+    /// (the config fingerprint is what actually guards reuse), so
+    /// `"custom"` losing the exact rates is fine.
+    pub fn describe(&self) -> &'static str {
+        for name in ["none", "light", "heavy"] {
+            if FaultProfile::by_name(name).as_ref() == Some(self) {
+                return name;
+            }
+        }
+        "custom"
+    }
+
     /// Whether this profile injects nothing at all.
     pub fn is_none(&self) -> bool {
         self.scraper_outages_per_30d == 0.0
@@ -149,5 +164,13 @@ mod tests {
         let p = FaultProfile::heavy().scaled(100.0);
         assert!(p.scraper_flake_rate <= 1.0);
         assert!(p.notification_loss_rate <= 1.0);
+    }
+
+    #[test]
+    fn describe_inverts_by_name_for_presets() {
+        for name in ["none", "light", "heavy"] {
+            assert_eq!(FaultProfile::by_name(name).unwrap().describe(), name);
+        }
+        assert_eq!(FaultProfile::heavy().scaled(0.5).describe(), "custom");
     }
 }

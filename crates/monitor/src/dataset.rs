@@ -366,7 +366,11 @@ impl ParsedAccess {
         ])
     }
 
-    pub(crate) fn from_json_value(v: &Json) -> Result<ParsedAccess, JsonError> {
+    /// Parse one access from its JSON value (the `"value"` of an
+    /// `"access"` JSONL line). Streaming consumers — the fleet store's
+    /// `pwnd report` path — use this to process records one line at a
+    /// time without materializing a [`Dataset`].
+    pub fn from_json_value(v: &Json) -> Result<ParsedAccess, JsonError> {
         Ok(ParsedAccess {
             account: u32_field(v, "account")?,
             cookie: u64_field(v, "cookie")?,
@@ -417,7 +421,10 @@ impl AccountRecord {
         Json::Obj(fields)
     }
 
-    pub(crate) fn from_json_value(v: &Json) -> Result<AccountRecord, JsonError> {
+    /// Parse one account record from its JSON value (the `"value"` of
+    /// an `"account"` JSONL line); see
+    /// [`ParsedAccess::from_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<AccountRecord, JsonError> {
         let coverage = match v.get("coverage") {
             None => None,
             Some(f) if f.is_null() => None,

@@ -98,47 +98,129 @@ impl<W: Write> DatasetWriter<W> {
     }
 }
 
+/// The record tags a [`DatasetWriter`] emits, in [`Dataset::to_json`]
+/// serialization order. The fleet store's streaming merge walks shard
+/// files once per tag in this order so concatenation reproduces the
+/// in-memory export byte for byte.
+pub const RECORD_TAGS: [&str; 4] = ["access", "account", "opened_text", "gap"];
+
+/// The record tag of one JSONL line, without parsing the record — the
+/// streaming fleet-store merge classifies millions of lines with this.
+/// Returns `None` for lines not starting with the writer's exact
+/// `{"record":"<tag>"` prefix (including blank and truncated lines).
+pub fn record_tag(line: &str) -> Option<&str> {
+    let rest = line.strip_prefix("{\"record\":\"")?;
+    rest.find('"').map(|end| &rest[..end])
+}
+
+/// Evidence of a truncated write: the final line of a stream was not a
+/// complete record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Truncated {
+    /// 1-based line number of the partial line.
+    pub line: usize,
+    /// Length of the unparseable fragment, in bytes.
+    pub bytes: usize,
+}
+
+/// What [`read_jsonl`] recovered from a stream.
+#[derive(Debug)]
+pub struct JsonlRead {
+    /// Every complete record, grouped by tag in arrival order.
+    pub dataset: Dataset,
+    /// Present when the stream ended mid-record (a truncated write):
+    /// `dataset` then holds the records up to the cut. Callers that
+    /// require an intact stream must treat this as corruption.
+    pub truncated: Option<Truncated>,
+}
+
 /// Re-assemble a [`Dataset`] from a JSONL stream produced by
 /// [`DatasetWriter`]. Records are grouped by tag with their relative
-/// order preserved, so `read_jsonl(stream).to_json()` is byte-identical
-/// to the `to_json()` of the dataset that was streamed. Blank lines are
-/// ignored; an unknown tag or malformed line is an error.
-pub fn read_jsonl(stream: &str) -> Result<Dataset, JsonError> {
+/// order preserved, so for an intact stream
+/// `read_jsonl(stream)?.dataset.to_json()` is byte-identical to the
+/// `to_json()` of the dataset that was streamed. Blank lines are
+/// ignored.
+///
+/// A final line that is not valid JSON is the signature of a write cut
+/// mid-record: the records before it are returned with a [`Truncated`]
+/// marker instead of failing the whole stream. Everything else —
+/// malformed JSON mid-stream, an unknown tag, a record missing fields —
+/// is an error naming the line and record kind.
+pub fn read_jsonl(stream: &str) -> Result<JsonlRead, JsonError> {
+    let last_data_line = stream
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .map(|(i, _)| i)
+        .last();
     let mut ds = Dataset::default();
+    let mut truncated = None;
     for (lineno, raw) in stream.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() {
             continue;
         }
-        let obj = Json::parse(line)?;
+        let n = lineno + 1;
+        let obj = match Json::parse(line) {
+            Ok(obj) => obj,
+            Err(_) if Some(lineno) == last_data_line => {
+                truncated = Some(Truncated {
+                    line: n,
+                    bytes: raw.len(),
+                });
+                break;
+            }
+            Err(e) => {
+                return Err(JsonError {
+                    msg: format!("line {n}: malformed record: {}", e.msg),
+                    at: e.at,
+                })
+            }
+        };
         let tag = obj.get("record").and_then(Json::as_str).ok_or(JsonError {
-            msg: format!("line {}: missing record tag", lineno + 1),
+            msg: format!("line {n}: missing record tag"),
             at: 0,
         })?;
-        let value = obj.get("value").ok_or(JsonError {
-            msg: format!("line {}: missing value", lineno + 1),
-            at: 0,
+        let kinded = |e: JsonError| JsonError {
+            msg: format!("line {n}: {tag} record: {}", e.msg),
+            at: e.at,
+        };
+        let value = obj.get("value").ok_or_else(|| {
+            kinded(JsonError {
+                msg: "missing value".to_string(),
+                at: 0,
+            })
         })?;
         match tag {
-            "access" => ds.accesses.push(ParsedAccess::from_json_value(value)?),
-            "account" => ds.accounts.push(AccountRecord::from_json_value(value)?),
-            "opened_text" => {
-                ds.opened_texts
-                    .push(value.as_str().map(String::from).ok_or(JsonError {
-                        msg: format!("line {}: opened_text value must be a string", lineno + 1),
+            "access" => ds
+                .accesses
+                .push(ParsedAccess::from_json_value(value).map_err(kinded)?),
+            "account" => ds
+                .accounts
+                .push(AccountRecord::from_json_value(value).map_err(kinded)?),
+            "opened_text" => ds
+                .opened_texts
+                .push(value.as_str().map(String::from).ok_or_else(|| {
+                    kinded(JsonError {
+                        msg: "value must be a string".to_string(),
                         at: 0,
-                    })?)
-            }
-            "gap" => ds.gaps.push(GapRecord::from_json_value(value)?),
+                    })
+                })?),
+            "gap" => ds
+                .gaps
+                .push(GapRecord::from_json_value(value).map_err(kinded)?),
             other => {
                 return Err(JsonError {
-                    msg: format!("line {}: unknown record tag {other:?}", lineno + 1),
+                    msg: format!("line {n}: unknown record tag {other:?}"),
                     at: 0,
                 })
             }
         }
     }
-    Ok(ds)
+    Ok(JsonlRead {
+        dataset: ds,
+        truncated,
+    })
 }
 
 #[cfg(test)]
@@ -194,7 +276,8 @@ mod tests {
         assert_eq!(w.records_written(), 4);
         let bytes = w.finish().unwrap();
         let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
-        assert_eq!(back.to_json(), ds.to_json());
+        assert!(back.truncated.is_none());
+        assert_eq!(back.dataset.to_json(), ds.to_json());
     }
 
     #[test]
@@ -224,15 +307,71 @@ mod tests {
         w.access(&ds.accesses[0]).unwrap();
         let bytes = w.finish().unwrap();
         let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
-        assert_eq!(back.to_json(), ds.to_json());
+        assert_eq!(back.dataset.to_json(), ds.to_json());
     }
 
     #[test]
     fn blank_lines_ignored_unknown_tags_rejected() {
-        assert!(read_jsonl("\n\n").unwrap().accesses.is_empty());
-        let err = read_jsonl("{\"record\":\"bogus\",\"value\":1}").unwrap_err();
+        assert!(read_jsonl("\n\n").unwrap().dataset.accesses.is_empty());
+        let err = read_jsonl("{\"record\":\"bogus\",\"value\":1}\n").unwrap_err();
         assert!(err.msg.contains("unknown record tag"));
-        assert!(read_jsonl("{\"value\":1}").is_err());
+        assert!(read_jsonl("{\"value\":1}\n").is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_line_and_record_kind() {
+        // A well-formed line followed by an access record missing its
+        // fields: the error says which line and which kind.
+        let good = {
+            let mut w = DatasetWriter::new(Vec::new());
+            w.opened_text("hello").unwrap();
+            String::from_utf8(w.finish().unwrap()).unwrap()
+        };
+        let stream = format!("{good}{{\"record\":\"access\",\"value\":{{}}}}\n");
+        let err = read_jsonl(&stream).unwrap_err();
+        assert!(err.msg.starts_with("line 2: access record:"), "{}", err.msg);
+
+        // Malformed JSON *mid-stream* is corruption, not truncation.
+        let stream = format!("{{\"record\":\"access\",\"val\n{good}");
+        let err = read_jsonl(&stream).unwrap_err();
+        assert!(
+            err.msg.starts_with("line 1: malformed record:"),
+            "{}",
+            err.msg
+        );
+    }
+
+    #[test]
+    fn trailing_partial_line_returns_records_so_far_with_marker() {
+        let ds = sample();
+        let mut w = DatasetWriter::new(Vec::new());
+        w.write_dataset(&ds).unwrap();
+        let full = String::from_utf8(w.finish().unwrap()).unwrap();
+        // Cut the stream mid-way through the final record.
+        let cut = full.len() - 20;
+        let truncated = &full[..cut];
+        let back = read_jsonl(truncated).unwrap();
+        let marker = back.truncated.expect("cut mid-record must be flagged");
+        assert_eq!(marker.line, 4);
+        assert!(marker.bytes > 0);
+        // Everything before the cut survived.
+        assert_eq!(back.dataset.accesses.len(), 1);
+        assert_eq!(back.dataset.accounts.len(), 1);
+        assert_eq!(back.dataset.opened_texts.len(), 1);
+        assert!(back.dataset.gaps.is_empty());
+    }
+
+    #[test]
+    fn record_tag_classifies_lines_without_parsing() {
+        let ds = sample();
+        let mut w = DatasetWriter::new(Vec::new());
+        w.write_dataset(&ds).unwrap();
+        let text = String::from_utf8(w.finish().unwrap()).unwrap();
+        let tags: Vec<_> = text.lines().filter_map(record_tag).collect();
+        assert_eq!(tags, RECORD_TAGS.to_vec());
+        assert_eq!(record_tag(""), None);
+        assert_eq!(record_tag("{\"value\":1}"), None);
+        assert_eq!(record_tag("{\"record\":\"acc"), None);
     }
 
     #[test]
@@ -244,7 +383,7 @@ mod tests {
         w.write_dataset(&ds).unwrap();
         let bytes = w.finish().unwrap();
         let back = read_jsonl(std::str::from_utf8(&bytes).unwrap()).unwrap();
-        let json = back.to_json();
+        let json = back.dataset.to_json();
         assert!(!json.contains("\"gaps\""));
         assert_eq!(json, ds.to_json());
     }

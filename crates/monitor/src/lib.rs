@@ -36,6 +36,6 @@ pub mod script;
 
 pub use collector::{Notification, NotificationCollector, NotificationKind};
 pub use dataset::{Dataset, DatasetBuilder, GapRecord, ParsedAccess};
-pub use export::DatasetWriter;
+pub use export::{DatasetWriter, JsonlRead, Truncated};
 pub use scraper::{ScrapeOutcome, Scraper};
 pub use script::{ScriptRuntime, ScriptState};

@@ -7,7 +7,9 @@
 //! pwnd export  [--seed N] [--out FILE]
 //! pwnd sweep   [--seeds N] [--seed BASE] [--jobs N] [--profile]
 //! pwnd chaos   [--seed N] [--quick] [--faults NAME] [--jobs N] [--profile]
-//! pwnd fleet   [--accounts N] [--jobs N] [--seed N] [--out FILE] [--telemetry-out FILE] [--profile]
+//! pwnd fleet   [--accounts N] [--jobs N] [--seed N] [--out FILE] [--out-dir DIR]
+//!              [--telemetry-out FILE] [--profile]
+//! pwnd report  --input PATH
 //! pwnd bench   [--json FILE] [--reps N] [--jobs N] [--check FILE] [--tolerance PCT]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
@@ -31,6 +33,7 @@ commands:
   sweep    headline stats across consecutive seeds
   chaos    data-loss ablation: sweep fault-rate factors over one seed
   fleet    one sharded experiment over a large account population
+  report   §4.1 overview of an exported dataset or an on-disk fleet store
   bench    perf baseline: run the benchmark workloads, report median/min
   leaks    the leak plan actually executed
   truth    ground-truth vs observed audit
@@ -51,13 +54,17 @@ flags:
                    into 100-account sub-experiments
   --out FILE       (export) output path (default dataset.json);
                    (fleet) stream the merged dataset there as JSON Lines
+  --out-dir DIR    (fleet) durable sharded store: write per-shard JSONL files
+                   and a manifest there; re-running resumes (verified shards
+                   are skipped, corrupt ones quarantined and re-run)
   --trace-out FILE (trace) write the JSONL trace here instead of stdout
   --filter SUBSTR  (trace) keep only events whose kind or detail contains it
   --limit N        (trace) keep only the last N matching events;
                    (profile) bound the top-spans table to N rows
   --collapsed FILE (profile) write the flamegraph collapsed-stack export there
-  --input FILE     (profile) analyse a streamed --telemetry-out JSONL file
-                   offline instead of running an experiment
+  --input PATH     (profile) analyse a streamed --telemetry-out JSONL file
+                   offline instead of running an experiment;
+                   (report) a fleet store directory or a JSONL dataset file
   --telemetry-out FILE (fleet) stream one telemetry report line per shard
                    there while the fleet runs (forces telemetry on)
   --seeds N        (sweep) number of seeds (default 8)
@@ -78,6 +85,7 @@ struct Args {
     profile: bool,
     out: String,
     out_given: bool,
+    out_dir: Option<String>,
     accounts: u32,
     trace_out: Option<String>,
     seeds: u64,
@@ -118,6 +126,7 @@ fn parse(mut argv: std::env::Args) -> Cli {
         profile: false,
         out: "dataset.json".to_string(),
         out_given: false,
+        out_dir: None,
         accounts: 1_000,
         trace_out: None,
         seeds: 8,
@@ -155,6 +164,13 @@ fn parse(mut argv: std::env::Args) -> Cli {
                 };
                 args.out = v.clone();
                 args.out_given = true;
+                i += 2;
+            }
+            "--out-dir" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.out_dir = Some(v.clone());
                 i += 2;
             }
             "--accounts" => {
@@ -324,6 +340,10 @@ fn main() -> ExitCode {
         }
         Cli::Command(command, args) => (command, args),
     };
+    if let Err(msg) = cli::validate_batch_flags(&command, args.jobs, args.accounts) {
+        eprintln!("{msg}");
+        return ExitCode::FAILURE;
+    }
     match command.as_str() {
         "run" => {
             if args.profile {
@@ -452,6 +472,50 @@ fn main() -> ExitCode {
             // for any --jobs value (tests/fleet_scale.rs proves it).
             let cfg =
                 FleetConfig::new(args.seed, args.accounts, args.jobs).with_telemetry(args.profile);
+            if let Some(dir) = &args.out_dir {
+                // Durable sharded store: verified shards are skipped on
+                // re-runs, corrupt ones quarantined and re-run, and the
+                // merged dataset stays byte-identical to an in-memory
+                // fleet (tests/fleet_store.rs proves it).
+                if args.telemetry_out.is_some() {
+                    eprintln!("pwnd fleet: --telemetry-out is not supported with --out-dir");
+                    return ExitCode::FAILURE;
+                }
+                let dir = std::path::Path::new(dir);
+                let run = match pwnd::store::run_fleet_store(&cfg, dir) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("pwnd fleet: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if run.manifest_recovered {
+                    eprintln!(
+                        "quarantined unreadable manifest as manifest.json.corrupt; store rebuilt"
+                    );
+                }
+                print!("{}", run.summary_table().render());
+                if args.out_given {
+                    let file = match std::fs::File::create(&args.out) {
+                        Ok(f) => f,
+                        Err(_) => {
+                            eprintln!("cannot write {}", args.out);
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    match pwnd::store::merge_store_jsonl(dir, std::io::BufWriter::new(file)) {
+                        Ok(records) => eprintln!("wrote {} ({records} JSONL records)", args.out),
+                        Err(e) => {
+                            eprintln!("cannot write {}: {e}", args.out);
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                if args.profile {
+                    println!("{}", run.telemetry.render());
+                }
+                return ExitCode::SUCCESS;
+            }
             let out = match &args.telemetry_out {
                 Some(path) => {
                     // Stream one telemetry report line per shard while
@@ -497,6 +561,53 @@ fn main() -> ExitCode {
             if args.profile {
                 println!("{}", out.telemetry.render());
             }
+        }
+        "report" => {
+            // §4.1 overview over an exported dataset without loading it
+            // whole: a fleet store directory streams shard by shard; a
+            // JSONL file is verified complete before it is summarised.
+            let Some(input) = &args.input else {
+                eprintln!(
+                    "pwnd report: --input PATH is required \
+                     (a fleet store directory or a JSONL dataset file)"
+                );
+                return ExitCode::FAILURE;
+            };
+            let path = std::path::Path::new(input);
+            let ov = if path.is_dir() {
+                match pwnd::store::store_overview(path) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("pwnd report: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            } else {
+                let text = match std::fs::read_to_string(path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("pwnd report: cannot read {input}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                let read = match pwnd::monitor::export::read_jsonl(&text) {
+                    Ok(r) => r,
+                    Err(e) => {
+                        eprintln!("pwnd report: {input}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+                if let Some(t) = &read.truncated {
+                    eprintln!(
+                        "pwnd report: {input}: truncated write — line {} is a partial \
+                         record ({} bytes); re-export the dataset",
+                        t.line, t.bytes
+                    );
+                    return ExitCode::FAILURE;
+                }
+                pwnd::analysis::tables::overview(&read.dataset)
+            };
+            print!("{}", cli::overview_table(&ov));
         }
         "bench" => {
             let report = cli::bench_report(args.reps, args.jobs);

@@ -528,6 +528,50 @@ pub fn filtered_trace_jsonl(
     out
 }
 
+// ---- flag validation and the `pwnd report` table ----------------------
+
+/// Validate the batch-execution flags for the multi-run commands.
+///
+/// `fleet`, `sweep`, and `chaos` all submit work to the parallel
+/// runner; zero worker threads or a zero-account fleet would otherwise
+/// be silently clamped deep inside the engine. Rejecting them here
+/// gives the user an actionable message instead. Commands outside the
+/// batch family always validate.
+pub fn validate_batch_flags(command: &str, jobs: usize, accounts: u32) -> Result<(), String> {
+    let batch = matches!(command, "fleet" | "sweep" | "chaos");
+    if batch && jobs == 0 {
+        return Err(format!(
+            "pwnd {command}: --jobs must be at least 1 (zero worker threads cannot run anything)"
+        ));
+    }
+    if command == "fleet" && accounts == 0 {
+        return Err(
+            "pwnd fleet: --accounts must be at least 1 (an empty fleet produces no dataset)"
+                .to_string(),
+        );
+    }
+    Ok(())
+}
+
+/// Render the §4.1 overview as the `pwnd report` table.
+pub fn overview_table(ov: &pwnd_analysis::tables::Overview) -> String {
+    let mut table = Table::new(&["metric", "value"]).numeric();
+    table.row(["accesses".into(), ov.total_accesses.to_string()]);
+    table.row(["emails opened".into(), ov.emails_opened.to_string()]);
+    table.row(["emails sent".into(), ov.emails_sent.to_string()]);
+    table.row(["drafts created".into(), ov.drafts_created.to_string()]);
+    table.row(["accounts accessed".into(), ov.accounts_accessed.to_string()]);
+    table.row(["accounts blocked".into(), ov.accounts_blocked.to_string()]);
+    table.row(["accounts hijacked".into(), ov.accounts_hijacked.to_string()]);
+    for (outlet, n) in &ov.accessed_by_outlet {
+        table.row([format!("accounts accessed ({outlet})"), n.to_string()]);
+    }
+    for (outlet, n) in &ov.accesses_by_outlet {
+        table.row([format!("accesses ({outlet})"), n.to_string()]);
+    }
+    table.render()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -547,6 +591,45 @@ mod tests {
             chaos[0].faults.profile.is_none(),
             "factor 0 injects nothing"
         );
+    }
+
+    #[test]
+    fn batch_commands_reject_zero_jobs_and_zero_accounts() {
+        for cmd in ["fleet", "sweep", "chaos"] {
+            let err = validate_batch_flags(cmd, 0, 100).unwrap_err();
+            assert!(err.contains(cmd), "error names the command: {err}");
+            assert!(err.contains("--jobs"), "error names the flag: {err}");
+            assert!(validate_batch_flags(cmd, 1, 100).is_ok());
+        }
+        let err = validate_batch_flags("fleet", 4, 0).unwrap_err();
+        assert!(err.contains("--accounts"), "error names the flag: {err}");
+        // Only the fleet sizes itself by --accounts; sweep/chaos ignore it.
+        assert!(validate_batch_flags("sweep", 4, 0).is_ok());
+        assert!(validate_batch_flags("chaos", 4, 0).is_ok());
+        // Non-batch commands never trip the batch validation.
+        assert!(validate_batch_flags("run", 0, 0).is_ok());
+    }
+
+    #[test]
+    fn overview_table_lists_every_headline_metric_and_outlet() {
+        let out = run_fleet(&FleetConfig::new(7, 200, 1));
+        let ov = overview(&out.dataset);
+        let table = overview_table(&ov);
+        for label in [
+            "accesses",
+            "emails opened",
+            "emails sent",
+            "drafts created",
+            "accounts accessed",
+            "accounts blocked",
+            "accounts hijacked",
+        ] {
+            assert!(table.contains(label), "missing row {label:?}:\n{table}");
+        }
+        for outlet in ov.accessed_by_outlet.keys() {
+            assert!(table.contains(&format!("accounts accessed ({outlet})")));
+        }
+        assert!(table.contains(&ov.total_accesses.to_string()));
     }
 
     #[test]

@@ -37,6 +37,7 @@
 //! ```
 
 pub mod cli;
+pub mod store;
 
 pub use pwnd_analysis as analysis;
 pub use pwnd_attacker as attacker;

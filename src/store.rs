@@ -1,0 +1,672 @@
+//! The crash-safe fleet store: durable sharded datasets on disk.
+//!
+//! `pwnd fleet --out-dir DIR` persists each shard the moment it
+//! completes instead of merging everything in RAM: one JSONL file per
+//! shard (account ids already rewritten to the shard's global range)
+//! plus a versioned `manifest.json` recording, per shard, the seed,
+//! account range, config content-hash, fault profile, and the shard
+//! file's SHA-256. The layout makes three things cheap:
+//!
+//! * **Resume** — on restart, a shard whose manifest entry matches its
+//!   spec *and* whose file hashes clean is skipped
+//!   (`fleet.shards_skipped`); a `kill -9` mid-fleet costs at most the
+//!   shards that were in flight.
+//! * **Incremental extension** — `--accounts 1000` over an existing
+//!   200-account store reuses the verified shards and runs only the
+//!   extension, because shard `i`'s bytes depend only on
+//!   `(fleet seed, i, shard size)`.
+//! * **Recovery** — a truncated, bit-flipped, or otherwise corrupted
+//!   shard fails its hash check, is quarantined as `<file>.corrupt`
+//!   (`fleet.shards_recovered`), and is deterministically re-run; the
+//!   rebuilt store is byte-identical to an uninterrupted run.
+//!
+//! ## Atomicity protocol
+//!
+//! Every durable write — shard file or manifest — goes through
+//! [`FleetStore::atomic_write`]: write to `<name>.tmp` in the same
+//! directory, `fsync` the file, `rename` over the final name, `fsync`
+//! the directory. A crash therefore leaves either the old bytes or the
+//! new bytes, never a torn file; the manifest is rewritten after each
+//! shard lands, so it never *claims* a shard whose file isn't already
+//! durable.
+//!
+//! The merge ([`merge_store_jsonl`]) streams shard files once per
+//! record kind in shard order, copying raw lines — no record is ever
+//! reparsed or reserialized, so the merged JSONL is byte-identical to
+//! [`FleetOutput::write_jsonl`](pwnd_core::FleetOutput::write_jsonl)
+//! on an in-memory run of the same config, and peak memory is one line.
+
+use pwnd_analysis::stream::OverviewBuilder;
+use pwnd_analysis::tables::Overview;
+use pwnd_core::fleet::{run_fleet_shards, FleetConfig, ShardSpec};
+use pwnd_core::hash::{hex, Sha256};
+use pwnd_monitor::dataset::{AccountRecord, ParsedAccess};
+use pwnd_monitor::export::{record_tag, RECORD_TAGS};
+use pwnd_telemetry::json::Json;
+use pwnd_telemetry::{Table, TelemetryReport, TelemetrySink};
+use std::fs::{self, File};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+/// Manifest format tag; bump on any incompatible layout change so old
+/// stores are rejected loudly instead of misread.
+pub const MANIFEST_FORMAT: &str = "pwnd-fleet-store/1";
+
+/// The manifest file name inside a store directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// The on-disk file name of shard `index`.
+pub fn shard_file_name(index: usize) -> String {
+    format!("shard-{index:05}.jsonl")
+}
+
+/// One verified-shard claim in the manifest: the shard's identity plus
+/// the exact bytes its file must hash to.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// The shard's identity (seed, size, account range, config hash).
+    pub spec: ShardSpec,
+    /// File name inside the store directory.
+    pub file: String,
+    /// SHA-256 of the shard file's bytes.
+    pub sha256: String,
+    /// JSONL records in the file.
+    pub records: u64,
+}
+
+impl ShardEntry {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("index".to_string(), Json::U(self.spec.index as u64)),
+            ("seed".to_string(), Json::U(self.spec.seed)),
+            (
+                "accounts".to_string(),
+                Json::U(u64::from(self.spec.accounts)),
+            ),
+            (
+                "account_base".to_string(),
+                Json::U(u64::from(self.spec.account_base)),
+            ),
+            (
+                "config_sha256".to_string(),
+                Json::Str(self.spec.config_fingerprint.clone()),
+            ),
+            (
+                "fault_profile".to_string(),
+                Json::Str(self.spec.fault_profile.clone()),
+            ),
+            ("file".to_string(), Json::Str(self.file.clone())),
+            ("sha256".to_string(), Json::Str(self.sha256.clone())),
+            ("records".to_string(), Json::U(self.records)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<ShardEntry> {
+        let str_of = |key: &str| v.get(key).and_then(Json::as_str).map(String::from);
+        Some(ShardEntry {
+            spec: ShardSpec {
+                index: usize::try_from(v.get("index")?.as_u64()?).ok()?,
+                seed: v.get("seed")?.as_u64()?,
+                accounts: u32::try_from(v.get("accounts")?.as_u64()?).ok()?,
+                account_base: u32::try_from(v.get("account_base")?.as_u64()?).ok()?,
+                config_fingerprint: str_of("config_sha256")?,
+                fault_profile: str_of("fault_profile")?,
+            },
+            file: str_of("file")?,
+            sha256: str_of("sha256")?,
+            records: v.get("records")?.as_u64()?,
+        })
+    }
+}
+
+/// The versioned store manifest: which fleet this store belongs to and
+/// which shards are durably on disk.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Manifest {
+    /// The fleet's master seed.
+    pub seed: u64,
+    /// [`FleetConfig::template_fingerprint`] of the fleet's config
+    /// shape — "same seed, different experiment" is refused up front.
+    pub template_sha256: String,
+    /// Verified shard claims, sorted by shard index, at most one per
+    /// index.
+    pub shards: Vec<ShardEntry>,
+}
+
+impl Manifest {
+    /// Serialize as pretty JSON (the manifest is small and hand-read
+    /// during debugging; shard files carry the bulk).
+    pub fn to_json(&self) -> String {
+        let obj = Json::Obj(vec![
+            ("format".to_string(), Json::Str(MANIFEST_FORMAT.to_string())),
+            ("seed".to_string(), Json::U(self.seed)),
+            (
+                "template_config_sha256".to_string(),
+                Json::Str(self.template_sha256.clone()),
+            ),
+            (
+                "shards".to_string(),
+                Json::Arr(self.shards.iter().map(ShardEntry::to_json).collect()),
+            ),
+        ]);
+        let mut text = obj.pretty();
+        text.push('\n');
+        text
+    }
+
+    /// Parse a manifest; `None` for anything malformed or of a foreign
+    /// format (callers treat that as corruption, not an error to
+    /// propagate — the store quarantines and rebuilds).
+    pub fn parse(text: &str) -> Option<Manifest> {
+        let v = Json::parse(text).ok()?;
+        if v.get("format")?.as_str()? != MANIFEST_FORMAT {
+            return None;
+        }
+        let mut shards = v
+            .get("shards")?
+            .as_array()?
+            .iter()
+            .map(ShardEntry::from_json)
+            .collect::<Option<Vec<_>>>()?;
+        shards.sort_by_key(|e| e.spec.index);
+        if shards
+            .windows(2)
+            .any(|w| w[0].spec.index == w[1].spec.index)
+        {
+            return None;
+        }
+        Some(Manifest {
+            seed: v.get("seed")?.as_u64()?,
+            template_sha256: v.get("template_config_sha256")?.as_str()?.to_string(),
+            shards,
+        })
+    }
+
+    /// The shard claim at `index`, if any.
+    pub fn entry(&self, index: usize) -> Option<&ShardEntry> {
+        self.shards.iter().find(|e| e.spec.index == index)
+    }
+
+    /// Insert or replace the claim for `entry`'s index, keeping the
+    /// list sorted.
+    pub fn upsert(&mut self, entry: ShardEntry) {
+        match self
+            .shards
+            .binary_search_by_key(&entry.spec.index, |e| e.spec.index)
+        {
+            Ok(pos) => self.shards[pos] = entry,
+            Err(pos) => self.shards.insert(pos, entry),
+        }
+    }
+}
+
+/// How a claimed shard file checked out on disk.
+enum ShardState {
+    /// File present, hash matches the claim.
+    Verified,
+    /// File absent (crash before it landed, or deleted).
+    Missing,
+    /// File present but its bytes don't hash to the claim.
+    Corrupt,
+}
+
+/// A fleet store directory.
+pub struct FleetStore {
+    dir: PathBuf,
+}
+
+impl FleetStore {
+    /// Open (creating if needed) the store directory.
+    pub fn open(dir: &Path) -> io::Result<FleetStore> {
+        fs::create_dir_all(dir)?;
+        Ok(FleetStore {
+            dir: dir.to_path_buf(),
+        })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Absolute path of a file inside the store.
+    pub fn path(&self, name: &str) -> PathBuf {
+        self.dir.join(name)
+    }
+
+    /// Durably replace `name` with `bytes`: same-directory temp file,
+    /// `fsync`, `rename`, directory `fsync`. A crash at any point
+    /// leaves either the previous file or the new one, never a torn
+    /// mixture.
+    pub fn atomic_write(&self, name: &str, bytes: &[u8]) -> io::Result<()> {
+        let tmp = self.dir.join(format!("{name}.tmp"));
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, self.path(name))?;
+        // Make the rename itself durable.
+        File::open(&self.dir)?.sync_all()?;
+        Ok(())
+    }
+
+    /// Load the manifest. Returns `(manifest, quarantined)`: a missing
+    /// manifest is `(None, false)` (fresh store); an unreadable or
+    /// malformed one is quarantined as `manifest.json.corrupt` and
+    /// reported as `(None, true)` — every shard then re-runs, because
+    /// without the manifest no shard file can be trusted.
+    pub fn load_manifest(&self) -> io::Result<(Option<Manifest>, bool)> {
+        let text = match fs::read_to_string(self.path(MANIFEST_FILE)) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok((None, false)),
+            // Non-UTF-8 bytes are corruption like any other, not a
+            // reason to refuse to run.
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                self.quarantine(MANIFEST_FILE)?;
+                return Ok((None, true));
+            }
+            Err(e) => return Err(e),
+        };
+        match Manifest::parse(&text) {
+            Some(m) => Ok((Some(m), false)),
+            None => {
+                self.quarantine(MANIFEST_FILE)?;
+                Ok((None, true))
+            }
+        }
+    }
+
+    /// Atomically persist the manifest.
+    pub fn write_manifest(&self, m: &Manifest) -> io::Result<()> {
+        self.atomic_write(MANIFEST_FILE, m.to_json().as_bytes())
+    }
+
+    /// Move `name` aside as `<name>.corrupt` (replacing any previous
+    /// quarantine of the same file), preserving the bytes for a
+    /// post-mortem instead of silently overwriting them.
+    pub fn quarantine(&self, name: &str) -> io::Result<()> {
+        fs::rename(self.path(name), self.path(&format!("{name}.corrupt")))
+    }
+
+    /// Streaming SHA-256 of a store file.
+    fn file_sha256(&self, name: &str) -> io::Result<Option<String>> {
+        let mut f = match File::open(self.path(name)) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let mut hasher = Sha256::new();
+        let mut buf = [0u8; 65536];
+        loop {
+            let n = f.read(&mut buf)?;
+            if n == 0 {
+                break;
+            }
+            hasher.update(&buf[..n]);
+        }
+        Ok(Some(hex(&hasher.finalize())))
+    }
+
+    fn verify_shard(&self, entry: &ShardEntry) -> io::Result<ShardState> {
+        Ok(match self.file_sha256(&entry.file)? {
+            None => ShardState::Missing,
+            Some(actual) if actual == entry.sha256 => ShardState::Verified,
+            Some(_) => ShardState::Corrupt,
+        })
+    }
+}
+
+/// What a store-backed fleet run did.
+#[derive(Debug)]
+pub struct StoreRun {
+    /// The store directory.
+    pub dir: PathBuf,
+    /// Total honey accounts the store now covers for this config.
+    pub accounts: u32,
+    /// Shards the population decomposes into.
+    pub shards_total: usize,
+    /// Shards reused because their manifest entry verified on disk.
+    pub shards_skipped: u64,
+    /// Corrupted shard files quarantined and deterministically re-run.
+    pub shards_recovered: u64,
+    /// Shards actually executed this run.
+    pub shards_run: usize,
+    /// Whether a corrupt manifest was quarantined (forces a full
+    /// re-run).
+    pub manifest_recovered: bool,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// High-water per-shard resident state, in bytes (0 when every
+    /// shard was skipped).
+    pub peak_rss_proxy: u64,
+    /// Merged telemetry: the runner batch (when enabled) plus the
+    /// always-on `fleet.*` series, including `fleet.shards_skipped`
+    /// and `fleet.shards_recovered`.
+    pub telemetry: TelemetryReport,
+}
+
+impl StoreRun {
+    /// The store summary table (`pwnd fleet --out-dir` output).
+    pub fn summary_table(&self) -> Table {
+        let mut t = Table::new(&["fleet store metric", "value"]).numeric();
+        t.row(["out dir", &self.dir.display().to_string()]);
+        t.row(["accounts", &self.accounts.to_string()]);
+        t.row(["shards", &self.shards_total.to_string()]);
+        t.row([
+            "shards skipped (verified)",
+            &self.shards_skipped.to_string(),
+        ]);
+        t.row([
+            "shards recovered (corrupt)",
+            &self.shards_recovered.to_string(),
+        ]);
+        t.row(["shards run", &self.shards_run.to_string()]);
+        t.row(["jobs", &self.jobs.to_string()]);
+        t.row(["peak shard state (bytes)", &self.peak_rss_proxy.to_string()]);
+        t
+    }
+}
+
+/// Run a fleet against a persistent store: verify and reuse what's on
+/// disk, quarantine what's corrupt, execute only the shards that are
+/// missing or stale, and keep the manifest durably in sync after every
+/// shard. See the module docs for the full protocol.
+pub fn run_fleet_store(cfg: &FleetConfig, dir: &Path) -> io::Result<StoreRun> {
+    let store = FleetStore::open(dir)?;
+    let specs = cfg.shard_specs();
+    let (manifest, manifest_recovered) = store.load_manifest()?;
+
+    if let Some(m) = &manifest {
+        if m.seed != cfg.seed {
+            return Err(io::Error::other(format!(
+                "fleet store {} was built with seed {}; refusing to mix in seed {} \
+                 (resume with the original seed or use a fresh --out-dir)",
+                dir.display(),
+                m.seed,
+                cfg.seed,
+            )));
+        }
+        if m.template_sha256 != cfg.template_fingerprint() {
+            return Err(io::Error::other(format!(
+                "fleet store {} was built from a different experiment config \
+                 (template hash {} != {}); use a fresh --out-dir",
+                dir.display(),
+                m.template_sha256,
+                cfg.template_fingerprint(),
+            )));
+        }
+    }
+
+    // Plan: decide per shard between reuse, recovery, and (re-)run.
+    let mut pruned = Manifest {
+        seed: cfg.seed,
+        template_sha256: cfg.template_fingerprint(),
+        shards: Vec::new(),
+    };
+    let mut to_run: Vec<ShardSpec> = Vec::new();
+    let mut skipped = 0u64;
+    let mut recovered = 0u64;
+    for spec in &specs {
+        match manifest.as_ref().and_then(|m| m.entry(spec.index)) {
+            Some(e) if e.spec == *spec => match store.verify_shard(e)? {
+                ShardState::Verified => {
+                    pruned.upsert(e.clone());
+                    skipped += 1;
+                }
+                ShardState::Missing => to_run.push(spec.clone()),
+                ShardState::Corrupt => {
+                    store.quarantine(&e.file)?;
+                    recovered += 1;
+                    to_run.push(spec.clone());
+                }
+            },
+            // Spec drift (e.g. yesterday's tail shard is a full shard
+            // after --accounts grew): not corruption, just stale — the
+            // deterministic re-run atomically replaces the file.
+            Some(_) => to_run.push(spec.clone()),
+            None => to_run.push(spec.clone()),
+        }
+    }
+    // Claims beyond this run's population (a previous, larger run)
+    // stay: they are someone else's shards to verify when asked for.
+    if let Some(m) = &manifest {
+        for e in &m.shards {
+            if e.spec.index >= specs.len() {
+                pruned.upsert(e.clone());
+            }
+        }
+    }
+    // Persist the pruned view before running, so no claim ever points
+    // at a quarantined or about-to-be-replaced file.
+    store.write_manifest(&pruned)?;
+
+    // Execute. Each completed shard is made durable (file, then
+    // manifest) from inside the worker that produced it.
+    let manifest_state = Mutex::new(pruned);
+    let summary = run_fleet_shards(cfg, &to_run, |spec, bytes| {
+        let file = shard_file_name(spec.index);
+        store.atomic_write(&file, bytes)?;
+        let entry = ShardEntry {
+            spec: spec.clone(),
+            sha256: Sha256::digest_hex(bytes),
+            records: bytes.iter().filter(|&&b| b == b'\n').count() as u64,
+            file,
+        };
+        let mut m = manifest_state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        m.upsert(entry);
+        store.write_manifest(&m)
+    })?;
+
+    let sink = TelemetrySink::enabled();
+    sink.gauge_set("fleet.accounts", u64::from(cfg.accounts));
+    sink.gauge_set("fleet.shards", specs.len() as u64);
+    sink.count_by("fleet.shards_skipped", skipped);
+    sink.count_by("fleet.shards_recovered", recovered);
+    sink.count_by("fleet.shards_run", summary.shards_run as u64);
+    sink.gauge_max("fleet.peak_rss_proxy", summary.peak_rss_proxy);
+
+    Ok(StoreRun {
+        dir: dir.to_path_buf(),
+        accounts: cfg.accounts,
+        shards_total: specs.len(),
+        shards_skipped: skipped,
+        shards_recovered: recovered,
+        shards_run: summary.shards_run,
+        manifest_recovered,
+        jobs: summary.jobs,
+        peak_rss_proxy: summary.peak_rss_proxy,
+        telemetry: TelemetryReport::merge(&[summary.telemetry, sink.report()]),
+    })
+}
+
+/// Load and validate a store for reading: the manifest must exist,
+/// parse, and claim a contiguous shard range `0..n` whose files all
+/// hash clean. Every reader (merge, report) goes through this, so a
+/// mutated shard file or manifest entry can never be silently merged.
+fn open_verified(dir: &Path) -> io::Result<(FleetStore, Manifest)> {
+    let store = FleetStore::open(dir)?;
+    let text = fs::read_to_string(store.path(MANIFEST_FILE)).map_err(|e| {
+        io::Error::new(
+            e.kind(),
+            format!(
+                "{}: not a fleet store (no readable {MANIFEST_FILE}): {e}",
+                dir.display()
+            ),
+        )
+    })?;
+    let manifest = Manifest::parse(&text).ok_or_else(|| {
+        io::Error::other(format!(
+            "{}: {MANIFEST_FILE} is corrupt or of an unknown format; \
+             re-run `pwnd fleet --out-dir` to rebuild the store",
+            dir.display()
+        ))
+    })?;
+    for (i, e) in manifest.shards.iter().enumerate() {
+        if e.spec.index != i {
+            return Err(io::Error::other(format!(
+                "{}: store is incomplete (no verified shard {i}); \
+                 re-run `pwnd fleet --out-dir` to fill it",
+                dir.display()
+            )));
+        }
+        match store.verify_shard(e)? {
+            ShardState::Verified => {}
+            ShardState::Missing => {
+                return Err(io::Error::other(format!(
+                    "{}: shard file {} is missing; re-run `pwnd fleet --out-dir`",
+                    dir.display(),
+                    e.file
+                )))
+            }
+            ShardState::Corrupt => {
+                return Err(io::Error::other(format!(
+                    "{}: shard file {} does not match its manifest hash \
+                     (corrupt or tampered); re-run `pwnd fleet --out-dir` to recover",
+                    dir.display(),
+                    e.file
+                )))
+            }
+        }
+    }
+    Ok((store, manifest))
+}
+
+/// Stream-merge a verified store into one JSONL dataset on `out`,
+/// byte-identical to
+/// [`FleetOutput::write_jsonl`](pwnd_core::FleetOutput::write_jsonl)
+/// of an uninterrupted in-memory run at the same seed/config. Walks
+/// the shard files once per record kind in shard order, copying raw
+/// lines — peak memory is one line. Returns records written.
+pub fn merge_store_jsonl<W: Write>(dir: &Path, mut out: W) -> io::Result<u64> {
+    let (store, manifest) = open_verified(dir)?;
+    let mut written = 0u64;
+    for tag in RECORD_TAGS {
+        for e in &manifest.shards {
+            let reader = BufReader::new(File::open(store.path(&e.file))?);
+            for line in reader.lines() {
+                let line = line?;
+                if record_tag(&line) == Some(tag) {
+                    out.write_all(line.as_bytes())?;
+                    out.write_all(b"\n")?;
+                    written += 1;
+                }
+            }
+        }
+    }
+    out.flush()?;
+    Ok(written)
+}
+
+/// Stream the §4.1 overview out of a verified store without ever
+/// materializing the dataset: one pass over every shard file for the
+/// account records, one for the accesses.
+pub fn store_overview(dir: &Path) -> io::Result<Overview> {
+    let (store, manifest) = open_verified(dir)?;
+    let mut b = OverviewBuilder::new();
+    for tag in ["account", "access"] {
+        for e in &manifest.shards {
+            let reader = BufReader::new(File::open(store.path(&e.file))?);
+            for (lineno, line) in reader.lines().enumerate() {
+                let line = line?;
+                if record_tag(&line) != Some(tag) {
+                    continue;
+                }
+                (|| -> Result<(), pwnd_telemetry::json::JsonError> {
+                    let v = Json::parse(&line)?;
+                    let value = v.get("value").ok_or(pwnd_telemetry::json::JsonError {
+                        msg: "missing value".to_string(),
+                        at: 0,
+                    })?;
+                    if tag == "account" {
+                        b.add_account(&AccountRecord::from_json_value(value)?);
+                    } else {
+                        b.add_access(&ParsedAccess::from_json_value(value)?);
+                    }
+                    Ok(())
+                })()
+                .map_err(|err| {
+                    io::Error::other(format!(
+                        "{}: line {}: {tag} record: {}",
+                        e.file,
+                        lineno + 1,
+                        err.msg
+                    ))
+                })?;
+            }
+        }
+    }
+    Ok(b.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            seed: 11,
+            template_sha256: "t".repeat(64),
+            shards: vec![ShardEntry {
+                spec: ShardSpec {
+                    index: 0,
+                    seed: 11,
+                    accounts: 100,
+                    account_base: 0,
+                    config_fingerprint: "c".repeat(64),
+                    fault_profile: "none".to_string(),
+                },
+                file: shard_file_name(0),
+                sha256: "a".repeat(64),
+                records: 42,
+            }],
+        }
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let m = sample_manifest();
+        let text = m.to_json();
+        assert!(text.contains(MANIFEST_FORMAT));
+        assert_eq!(Manifest::parse(&text), Some(m));
+    }
+
+    #[test]
+    fn foreign_or_malformed_manifests_rejected() {
+        assert_eq!(Manifest::parse("not json"), None);
+        assert_eq!(Manifest::parse("{}"), None);
+        let other = sample_manifest()
+            .to_json()
+            .replace(MANIFEST_FORMAT, "pwnd-fleet-store/999");
+        assert_eq!(Manifest::parse(&other), None);
+        // Duplicate shard indices are structural corruption.
+        let mut dup = sample_manifest();
+        dup.shards.push(dup.shards[0].clone());
+        assert_eq!(Manifest::parse(&dup.to_json()), None);
+    }
+
+    #[test]
+    fn upsert_replaces_by_index_and_keeps_order() {
+        let mut m = sample_manifest();
+        let mut later = m.shards[0].clone();
+        later.spec.index = 2;
+        later.file = shard_file_name(2);
+        m.upsert(later.clone());
+        let mut replacement = m.shards[0].clone();
+        replacement.sha256 = "b".repeat(64);
+        m.upsert(replacement.clone());
+        assert_eq!(m.shards.len(), 2);
+        assert_eq!(m.shards[0], replacement);
+        assert_eq!(m.shards[1], later);
+    }
+
+    #[test]
+    fn shard_file_names_sort_with_their_indices() {
+        assert_eq!(shard_file_name(0), "shard-00000.jsonl");
+        assert_eq!(shard_file_name(12345), "shard-12345.jsonl");
+        assert!(shard_file_name(9) < shard_file_name(10));
+    }
+}

@@ -108,5 +108,6 @@ fn jsonl_round_trip_matches_in_memory_export_at_paper_scale() {
     }
 
     let reassembled = read_jsonl(std::str::from_utf8(&stream).unwrap()).unwrap();
-    assert_eq!(reassembled.to_json(), direct);
+    assert!(reassembled.truncated.is_none());
+    assert_eq!(reassembled.dataset.to_json(), direct);
 }
