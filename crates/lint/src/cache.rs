@@ -1,0 +1,402 @@
+//! The incremental analysis cache: pass-1 [`FileModel`]s keyed by
+//! content SHA-256.
+//!
+//! Pass 1 (lex + per-file rules + model distillation) is a pure
+//! function of `(path, content)`, so its output can be replayed for any
+//! file whose bytes have not changed. The cache stores one JSON entry
+//! per file — `{path, sha256, model}` — under a schema/engine-revision
+//! header; a warm run re-analyzes only changed files and runs pass 2
+//! over the mixed cold/warm models, producing a report byte-identical
+//! to a cold run (CI asserts exactly this).
+//!
+//! Every mismatch — unreadable file, wrong schema, stale
+//! [`ENGINE_REV`], malformed entry — degrades to a cold analysis of the
+//! affected files. The cache can never change a verdict, only skip
+//! work.
+
+use crate::findings::Finding;
+use crate::model::{FileModel, FnModel, TagDef};
+use crate::source::{AllowDirective, BadAllow};
+use pwnd_core::hash::Sha256;
+use pwnd_telemetry::json::Json;
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+/// Cache file schema identifier.
+const SCHEMA: &str = "pwnd-lint-cache/1";
+
+/// Bump when pass-1 semantics change (new per-file rule, new model
+/// field, lexer fix): invalidates every cached model wholesale.
+pub const ENGINE_REV: u64 = 2;
+
+/// The content key for one file.
+pub fn file_key(content: &str) -> String {
+    Sha256::digest_hex(content.as_bytes())
+}
+
+/// An in-memory cache: path → (content sha, model).
+#[derive(Debug, Default)]
+pub struct Cache {
+    entries: BTreeMap<String, (String, FileModel)>,
+}
+
+impl Cache {
+    /// Load from disk. Any failure (missing file, bad JSON, wrong
+    /// schema or engine revision, malformed entry) yields an empty
+    /// cache: correctness never depends on what is on disk.
+    pub fn load(path: &Path) -> Cache {
+        let mut cache = Cache::default();
+        let Ok(text) = std::fs::read_to_string(path) else {
+            return cache;
+        };
+        let Ok(root) = Json::parse(&text) else {
+            return cache;
+        };
+        if root.get("schema").and_then(Json::as_str) != Some(SCHEMA)
+            || root.get("engine").and_then(Json::as_u64) != Some(ENGINE_REV)
+        {
+            return cache;
+        }
+        for entry in root
+            .get("files")
+            .and_then(Json::as_array)
+            .unwrap_or_default()
+        {
+            let parsed = (|| {
+                let path = entry.get("path")?.as_str()?.to_string();
+                let sha = entry.get("sha")?.as_str()?.to_string();
+                let model = model_from_json(entry.get("model")?)?;
+                Some((path, sha, model))
+            })();
+            if let Some((path, sha, model)) = parsed {
+                cache.entries.insert(path, (sha, model));
+            }
+        }
+        cache
+    }
+
+    /// The cached model for `path`, if its content sha still matches.
+    pub fn lookup(&self, path: &str, sha: &str) -> Option<&FileModel> {
+        self.entries
+            .get(path)
+            .and_then(|(s, m)| (s == sha).then_some(m))
+    }
+
+    /// Write the given `(sha, model)` set to disk, replacing any
+    /// previous contents (deleted files drop out automatically).
+    pub fn save(path: &Path, entries: &[(String, FileModel)]) -> io::Result<()> {
+        let files: Vec<Json> = entries
+            .iter()
+            .map(|(sha, m)| {
+                Json::Obj(vec![
+                    ("path".to_string(), Json::Str(m.path.clone())),
+                    ("sha".to_string(), Json::Str(sha.clone())),
+                    ("model".to_string(), model_to_json(m)),
+                ])
+            })
+            .collect();
+        let root = Json::Obj(vec![
+            ("schema".to_string(), Json::Str(SCHEMA.to_string())),
+            ("engine".to_string(), Json::U(ENGINE_REV)),
+            ("files".to_string(), Json::Arr(files)),
+        ]);
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        std::fs::write(path, root.compact())
+    }
+}
+
+// ---- FileModel ⇄ Json ---------------------------------------------------
+
+fn str_u32_pairs(items: &[(String, u32)]) -> Json {
+    Json::Arr(
+        items
+            .iter()
+            .map(|(s, n)| Json::Arr(vec![Json::Str(s.clone()), Json::U(u64::from(*n))]))
+            .collect(),
+    )
+}
+
+fn u32_str_pairs(items: &[(u32, String)]) -> Json {
+    Json::Arr(
+        items
+            .iter()
+            .map(|(n, s)| Json::Arr(vec![Json::U(u64::from(*n)), Json::Str(s.clone())]))
+            .collect(),
+    )
+}
+
+fn str_arr<'a>(items: impl Iterator<Item = &'a String>) -> Json {
+    Json::Arr(items.map(|s| Json::Str(s.clone())).collect())
+}
+
+/// Serialize one model.
+pub fn model_to_json(m: &FileModel) -> Json {
+    let fns: Vec<Json> = m
+        .fns
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("name".to_string(), Json::Str(f.name.clone())),
+                ("line".to_string(), Json::U(u64::from(f.line))),
+                ("is_test".to_string(), Json::Bool(f.is_test)),
+                ("hot_root".to_string(), Json::Bool(f.hot_root)),
+                ("jsonl_emit".to_string(), Json::Bool(f.jsonl_emit)),
+                ("jsonl_consume".to_string(), Json::Bool(f.jsonl_consume)),
+                (
+                    "calls".to_string(),
+                    Json::Arr(
+                        f.calls
+                            .iter()
+                            .map(|(c, l)| Json::Arr(vec![Json::Str(c.clone()), Json::Bool(*l)]))
+                            .collect(),
+                    ),
+                ),
+                (
+                    "alloc_sites".to_string(),
+                    Json::Arr(
+                        f.alloc_sites
+                            .iter()
+                            .map(|(n, s, l)| {
+                                Json::Arr(vec![
+                                    Json::U(u64::from(*n)),
+                                    Json::Str(s.clone()),
+                                    Json::Bool(*l),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                ("tag_refs".to_string(), str_arr(f.tag_refs.iter())),
+                ("str_lits".to_string(), str_u32_pairs(&f.str_lits)),
+            ])
+        })
+        .collect();
+    let tag_defs: Vec<Json> = m
+        .tag_defs
+        .iter()
+        .map(|d| {
+            Json::Arr(vec![
+                Json::Str(d.name.clone()),
+                Json::Str(d.value.clone()),
+                Json::U(u64::from(d.line)),
+            ])
+        })
+        .collect();
+    let findings: Vec<Json> = m
+        .local_findings
+        .iter()
+        .map(|f| {
+            Json::Obj(vec![
+                ("line".to_string(), Json::U(u64::from(f.line))),
+                ("rule".to_string(), Json::Str(f.rule.clone())),
+                ("message".to_string(), Json::Str(f.message.clone())),
+            ])
+        })
+        .collect();
+    let allows: Vec<Json> = m
+        .allows
+        .iter()
+        .map(|a| {
+            Json::Obj(vec![
+                ("line".to_string(), Json::U(u64::from(a.line))),
+                ("applies_to".to_string(), Json::U(u64::from(a.applies_to))),
+                ("rule".to_string(), Json::Str(a.rule.clone())),
+                ("reason".to_string(), Json::Str(a.reason.clone())),
+            ])
+        })
+        .collect();
+    let bad_allows: Vec<Json> = m
+        .bad_allows
+        .iter()
+        .map(|b| {
+            Json::Obj(vec![
+                ("line".to_string(), Json::U(u64::from(b.line))),
+                ("why".to_string(), Json::Str(b.why.clone())),
+            ])
+        })
+        .collect();
+    Json::Obj(vec![
+        ("path".to_string(), Json::Str(m.path.clone())),
+        ("krate".to_string(), Json::Str(m.krate.clone())),
+        ("imports".to_string(), str_u32_pairs(&m.imports)),
+        ("all_refs".to_string(), str_arr(m.all_refs.iter())),
+        ("fns".to_string(), Json::Arr(fns)),
+        ("tag_defs".to_string(), Json::Arr(tag_defs)),
+        ("metric_emits".to_string(), str_u32_pairs(&m.metric_emits)),
+        (
+            "metric_consumes".to_string(),
+            str_u32_pairs(&m.metric_consumes),
+        ),
+        ("lock_sites".to_string(), u32_str_pairs(&m.lock_sites)),
+        ("local_findings".to_string(), Json::Arr(findings)),
+        ("allows".to_string(), Json::Arr(allows)),
+        ("bad_allows".to_string(), Json::Arr(bad_allows)),
+    ])
+}
+
+fn read_str_u32(j: &Json) -> Option<(String, u32)> {
+    let a = j.as_array()?;
+    Some((
+        a.first()?.as_str()?.to_string(),
+        u32::try_from(a.get(1)?.as_u64()?).ok()?,
+    ))
+}
+
+fn read_u32_str(j: &Json) -> Option<(u32, String)> {
+    let a = j.as_array()?;
+    Some((
+        u32::try_from(a.first()?.as_u64()?).ok()?,
+        a.get(1)?.as_str()?.to_string(),
+    ))
+}
+
+fn read_vec<T>(j: Option<&Json>, f: impl Fn(&Json) -> Option<T>) -> Option<Vec<T>> {
+    j?.as_array()?.iter().map(f).collect()
+}
+
+fn read_line(j: &Json, key: &str) -> Option<u32> {
+    u32::try_from(j.get(key)?.as_u64()?).ok()
+}
+
+/// Deserialize one model; `None` on any shape mismatch.
+pub fn model_from_json(j: &Json) -> Option<FileModel> {
+    let fns = read_vec(j.get("fns"), |f| {
+        Some(FnModel {
+            name: f.get("name")?.as_str()?.to_string(),
+            line: read_line(f, "line")?,
+            is_test: f.get("is_test")?.as_bool()?,
+            hot_root: f.get("hot_root")?.as_bool()?,
+            jsonl_emit: f.get("jsonl_emit")?.as_bool()?,
+            jsonl_consume: f.get("jsonl_consume")?.as_bool()?,
+            calls: read_vec(f.get("calls"), |c| {
+                let a = c.as_array()?;
+                Some((a.first()?.as_str()?.to_string(), a.get(1)?.as_bool()?))
+            })?
+            .into_iter()
+            .collect(),
+            alloc_sites: read_vec(f.get("alloc_sites"), |s| {
+                let a = s.as_array()?;
+                Some((
+                    u32::try_from(a.first()?.as_u64()?).ok()?,
+                    a.get(1)?.as_str()?.to_string(),
+                    a.get(2)?.as_bool()?,
+                ))
+            })?,
+            tag_refs: read_vec(f.get("tag_refs"), |c| Some(c.as_str()?.to_string()))?
+                .into_iter()
+                .collect(),
+            str_lits: read_vec(f.get("str_lits"), read_str_u32)?,
+        })
+    })?;
+    let path = j.get("path")?.as_str()?.to_string();
+    let local_findings = read_vec(j.get("local_findings"), |f| {
+        Some(Finding {
+            path: path.clone(),
+            line: read_line(f, "line")?,
+            rule: f.get("rule")?.as_str()?.to_string(),
+            message: f.get("message")?.as_str()?.to_string(),
+        })
+    })?;
+    Some(FileModel {
+        path,
+        krate: j.get("krate")?.as_str()?.to_string(),
+        imports: read_vec(j.get("imports"), read_str_u32)?,
+        all_refs: read_vec(j.get("all_refs"), |c| Some(c.as_str()?.to_string()))?
+            .into_iter()
+            .collect(),
+        fns,
+        tag_defs: read_vec(j.get("tag_defs"), |d| {
+            let a = d.as_array()?;
+            Some(TagDef {
+                name: a.first()?.as_str()?.to_string(),
+                value: a.get(1)?.as_str()?.to_string(),
+                line: u32::try_from(a.get(2)?.as_u64()?).ok()?,
+            })
+        })?,
+        metric_emits: read_vec(j.get("metric_emits"), read_str_u32)?,
+        metric_consumes: read_vec(j.get("metric_consumes"), read_str_u32)?,
+        lock_sites: read_vec(j.get("lock_sites"), read_u32_str)?,
+        local_findings,
+        allows: read_vec(j.get("allows"), |a| {
+            Some(AllowDirective {
+                line: read_line(a, "line")?,
+                applies_to: read_line(a, "applies_to")?,
+                rule: a.get("rule")?.as_str()?.to_string(),
+                reason: a.get("reason")?.as_str()?.to_string(),
+            })
+        })?,
+        bad_allows: read_vec(j.get("bad_allows"), |b| {
+            Some(BadAllow {
+                line: read_line(b, "line")?,
+                why: b.get("why")?.as_str()?.to_string(),
+            })
+        })?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::analyze_file;
+
+    const SRC: &str = "\
+// lint:jsonl-tags
+pub mod tags { pub const ACCESS: &str = \"access\"; }
+// lint:hot-root
+pub fn hot(sink: &S) {
+    let t = Instant::now(); // lint:allow(wall-clock): test fixture
+    sink.count(\"m.x\");
+    let s = t.to_string();
+    helper(s);
+}
+fn helper(x: String) { drop(x); }
+";
+
+    #[test]
+    fn model_round_trips_through_json() {
+        let m = analyze_file("crates/webmail/src/x.rs", SRC);
+        let j = model_to_json(&m);
+        let back = model_from_json(&Json::parse(&j.compact()).expect("parse")).expect("model");
+        // Spot-check every section survived.
+        assert_eq!(back.path, m.path);
+        assert_eq!(back.krate, m.krate);
+        assert_eq!(back.fns.len(), m.fns.len());
+        assert_eq!(back.fns[0].name, "hot");
+        assert!(back.fns[0].hot_root);
+        assert_eq!(back.fns[0].alloc_sites, m.fns[0].alloc_sites);
+        assert_eq!(back.fns[0].calls, m.fns[0].calls);
+        assert_eq!(back.tag_defs, m.tag_defs);
+        assert_eq!(back.metric_emits, m.metric_emits);
+        assert_eq!(back.local_findings, m.local_findings);
+        assert_eq!(back.allows, m.allows);
+        // And the full JSON is stable under a second round trip.
+        let j2 = model_to_json(&back);
+        assert_eq!(j.compact(), j2.compact());
+    }
+
+    #[test]
+    fn cache_load_rejects_wrong_engine_rev() {
+        let dir = std::env::temp_dir().join("pwnd-lint-cache-test");
+        let file = dir.join("cache.json");
+        let m = analyze_file("crates/webmail/src/x.rs", SRC);
+        let sha = file_key(SRC);
+        Cache::save(&file, &[(sha.clone(), m)]).expect("save");
+        let cache = Cache::load(&file);
+        assert!(cache.lookup("crates/webmail/src/x.rs", &sha).is_some());
+        assert!(cache
+            .lookup("crates/webmail/src/x.rs", "deadbeef")
+            .is_none());
+        // Corrupt the engine revision: the cache must come back empty.
+        let text = std::fs::read_to_string(&file).expect("read");
+        std::fs::write(&file, text.replace("\"engine\":", "\"engine_\":")).expect("write");
+        assert!(Cache::load(&file)
+            .lookup("crates/webmail/src/x.rs", &sha)
+            .is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

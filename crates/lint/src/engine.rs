@@ -1,10 +1,19 @@
-//! The lint engine: applies every rule to a set of in-memory sources and
-//! resolves `lint:allow` suppressions.
+//! The lint engine: pass 1 distills each source into a [`FileModel`]
+//! (running the per-file rules on the way), pass 2 runs the workspace
+//! rules over the models, then `lint:allow` suppressions are resolved.
+//!
+//! Pass 1 is deliberately independent of the `--rule` filter and of any
+//! workspace context: its output is a pure function of `(path,
+//! content)`, which is what makes [`crate::cache`] sound. Filtering by
+//! rule id happens in [`lint_models`], on findings the models already
+//! carry.
 
 use crate::findings::{Finding, LintReport};
 use crate::lexer::{has_segment, Token, TokenKind};
+use crate::model::{self, FileModel};
 use crate::rules;
 use crate::source::SourceFile;
+pub use crate::workspace_rules::WorkspaceCtx;
 use std::collections::BTreeSet;
 
 /// Iterator-producing methods on hash containers: calling one of these
@@ -47,47 +56,57 @@ const NON_INDEX_KEYWORDS: &[&str] = &[
     "static", "const", "type", "enum", "struct", "trait", "mod", "crate", "fn", "box",
 ];
 
-/// Lint a set of `(workspace-relative path, content)` sources. `only`
-/// restricts to a subset of rule ids (the `--rule` flag); when set, the
-/// `unused-allow` meta rule is skipped because an allow for a filtered-out
-/// rule legitimately suppresses nothing in that run.
-pub fn lint_files(files: &[(String, String)], only: Option<&BTreeSet<String>>) -> LintReport {
+/// Pass 1 for one file: lex, analyze, run the per-file rules, and
+/// distill the result into a cacheable [`FileModel`]. Pure in `(path,
+/// content)` — no rule filter, no workspace context.
+pub fn analyze_file(path: &str, content: &str) -> FileModel {
+    let sf = SourceFile::new(path, content);
+    let mut raw: Vec<Finding> = Vec::new();
+    check_token_bans(&sf, rules::WALL_CLOCK, wall_clock_ban, &mut raw);
+    check_token_bans(&sf, rules::AMBIENT_RNG, ambient_rng_ban, &mut raw);
+    check_token_bans(&sf, rules::ENV_IO, env_io_ban, &mut raw);
+    check_panic_hazard(&sf, &mut raw);
+    check_hash_order(&sf, &mut raw);
+    raw.sort();
+    raw.dedup();
+    model::build(&sf, raw)
+}
+
+/// Pass 2 + resolution: run the workspace rules over the models, filter
+/// by `only`, resolve `lint:allow` suppressions, and report. When
+/// `only` is set, the `unused-allow` meta rule is skipped because an
+/// allow for a filtered-out rule legitimately suppresses nothing in
+/// that run.
+pub fn lint_models(
+    models: &[FileModel],
+    ctx: &WorkspaceCtx,
+    only: Option<&BTreeSet<String>>,
+) -> LintReport {
     let enabled = |rule: &str| match only {
         Some(s) => s.contains(rule),
         None => true,
     };
     let mut raw: Vec<Finding> = Vec::new();
-    let mut sources = Vec::new();
-    for (path, content) in files {
-        let sf = SourceFile::new(path, content);
-        if enabled(rules::WALL_CLOCK) {
-            check_token_bans(&sf, rules::WALL_CLOCK, wall_clock_ban, &mut raw);
-        }
-        if enabled(rules::AMBIENT_RNG) {
-            check_token_bans(&sf, rules::AMBIENT_RNG, ambient_rng_ban, &mut raw);
-        }
-        if enabled(rules::ENV_IO) {
-            check_token_bans(&sf, rules::ENV_IO, env_io_ban, &mut raw);
-        }
-        if enabled(rules::PANIC_HAZARD) {
-            check_panic_hazard(&sf, &mut raw);
-        }
-        if enabled(rules::HASH_ORDER) {
-            check_hash_order(&sf, &mut raw);
-        }
+    for m in models {
+        raw.extend(
+            m.local_findings
+                .iter()
+                .filter(|f| enabled(&f.rule))
+                .cloned(),
+        );
         if enabled(rules::BAD_ALLOW) {
-            for b in &sf.bad_allows {
+            for b in &m.bad_allows {
                 raw.push(Finding {
-                    path: sf.path.clone(),
+                    path: m.path.clone(),
                     line: b.line,
                     rule: rules::BAD_ALLOW.to_string(),
                     message: b.why.clone(),
                 });
             }
-            for a in &sf.allows {
+            for a in &m.allows {
                 if !rules::is_known_rule(&a.rule) {
                     raw.push(Finding {
-                        path: sf.path.clone(),
+                        path: m.path.clone(),
                         line: a.line,
                         rule: rules::BAD_ALLOW.to_string(),
                         message: format!("lint:allow names unknown rule `{}`", a.rule),
@@ -95,17 +114,21 @@ pub fn lint_files(files: &[(String, String)], only: Option<&BTreeSet<String>>) -
                 }
             }
         }
-        sources.push(sf);
     }
+    raw.extend(
+        crate::workspace_rules::run(models, ctx)
+            .into_iter()
+            .filter(|f| enabled(&f.rule)),
+    );
 
     // Resolve suppressions.
     let mut findings = Vec::new();
     let mut suppressed = Vec::new();
     let mut used: BTreeSet<(String, u32, String)> = BTreeSet::new();
     for f in raw {
-        let sf = sources.iter().find(|s| s.path == f.path);
-        let allow = sf.and_then(|s| {
-            s.allows
+        let m = models.iter().find(|m| m.path == f.path);
+        let allow = m.and_then(|m| {
+            m.allows
                 .iter()
                 .find(|a| a.applies_to == f.line && a.rule == f.rule)
         });
@@ -119,13 +142,13 @@ pub fn lint_files(files: &[(String, String)], only: Option<&BTreeSet<String>>) -
         }
     }
     if only.is_none() {
-        for sf in &sources {
-            for a in &sf.allows {
+        for m in models {
+            for a in &m.allows {
                 if rules::is_known_rule(&a.rule)
-                    && !used.contains(&(sf.path.clone(), a.line, a.rule.clone()))
+                    && !used.contains(&(m.path.clone(), a.line, a.rule.clone()))
                 {
                     findings.push(Finding {
-                        path: sf.path.clone(),
+                        path: m.path.clone(),
                         line: a.line,
                         rule: rules::UNUSED_ALLOW.to_string(),
                         message: format!(
@@ -142,8 +165,29 @@ pub fn lint_files(files: &[(String, String)], only: Option<&BTreeSet<String>>) -
     LintReport {
         findings,
         suppressed,
-        files_scanned: files.len(),
+        files_scanned: models.len(),
     }
+}
+
+/// Lint a set of `(workspace-relative path, content)` sources with no
+/// workspace context (no layering manifest, no Cargo metadata): the
+/// per-file rules plus the context-free workspace rules.
+pub fn lint_files(files: &[(String, String)], only: Option<&BTreeSet<String>>) -> LintReport {
+    lint_files_with(files, &WorkspaceCtx::default(), only)
+}
+
+/// [`lint_files`] with an explicit workspace context (used by
+/// `lint_workspace` and the fixture self-tests).
+pub fn lint_files_with(
+    files: &[(String, String)],
+    ctx: &WorkspaceCtx,
+    only: Option<&BTreeSet<String>>,
+) -> LintReport {
+    let models: Vec<FileModel> = files
+        .iter()
+        .map(|(path, content)| analyze_file(path, content))
+        .collect();
+    lint_models(&models, ctx, only)
 }
 
 /// Run a per-identifier ban rule over every non-test token in scope.

@@ -18,8 +18,12 @@ pub enum TokenKind {
     /// that is *not* followed by an identifier (turbofish) is emitted as
     /// two `:` puncts.
     Punct(char),
-    /// A string, char, byte, or numeric literal (content dropped).
+    /// A char, byte, or numeric literal (content dropped).
     Lit,
+    /// A string literal (regular, raw, or byte), with its uninterpreted
+    /// body. Rules never match identifiers against this, but the
+    /// workspace string registry (record tags, metric names) reads it.
+    Str(String),
 }
 
 /// One lexed token.
@@ -43,6 +47,14 @@ impl Token {
     /// Whether this token is the given punctuation character.
     pub fn is_punct(&self, c: char) -> bool {
         self.kind == TokenKind::Punct(c)
+    }
+
+    /// The body of a string literal, if this token is one.
+    pub fn str_lit(&self) -> Option<&str> {
+        match &self.kind {
+            TokenKind::Str(s) => Some(s),
+            _ => None,
+        }
     }
 }
 
@@ -133,25 +145,31 @@ pub fn lex(src: &str) -> Lexed {
                 i = j;
             }
             '"' => {
+                let start_line = line;
+                let start = i + 1;
                 i = skip_string(&b, i, &mut line);
                 out.tokens.push(Token {
-                    line,
-                    kind: TokenKind::Lit,
+                    line: start_line,
+                    kind: TokenKind::Str(string_body(&b, start, i)),
                 });
             }
             'r' | 'b' if raw_string_start(&b, i).is_some() => {
+                let start_line = line;
                 let (body_start, hashes) = raw_string_start(&b, i).unwrap_or((i + 1, 0));
                 i = skip_raw_string(&b, body_start, hashes, &mut line);
+                let end = i.saturating_sub(1 + hashes).max(body_start);
                 out.tokens.push(Token {
-                    line,
-                    kind: TokenKind::Lit,
+                    line: start_line,
+                    kind: TokenKind::Str(b[body_start..end.min(b.len())].iter().collect()),
                 });
             }
             'b' if b.get(i + 1) == Some(&'"') => {
+                let start_line = line;
+                let start = i + 2;
                 i = skip_string(&b, i + 1, &mut line);
                 out.tokens.push(Token {
-                    line,
-                    kind: TokenKind::Lit,
+                    line: start_line,
+                    kind: TokenKind::Str(string_body(&b, start, i)),
                 });
             }
             'b' if b.get(i + 1) == Some(&'\'') => {
@@ -273,6 +291,15 @@ fn skip_raw_string(b: &[char], mut i: usize, hashes: usize, line: &mut u32) -> u
     i
 }
 
+/// The body of a plain string literal given the index past its opening
+/// quote and the index past its closing quote. Escapes are kept verbatim
+/// (`\n` stays two chars): the registry matches identifier-like tag and
+/// metric names, which never contain escapes.
+fn string_body(b: &[char], start: usize, past_close: usize) -> String {
+    let end = past_close.saturating_sub(1).max(start);
+    b[start..end.min(b.len())].iter().collect()
+}
+
 /// Skip a `"…"` string starting at the opening quote; returns the index
 /// past the closing quote.
 fn skip_string(b: &[char], start: usize, line: &mut u32) -> usize {
@@ -333,6 +360,29 @@ mod tests {
             .all(|t| t.ident() != Some("Instant::now")));
         // Lifetimes vanish; char literals are Lit.
         assert!(toks.tokens.iter().any(|t| t.kind == TokenKind::Lit));
+        // The string body is preserved for the registry, as a Str token
+        // that no identifier rule can match.
+        assert!(toks
+            .tokens
+            .iter()
+            .any(|t| t.str_lit() == Some("Instant::now")));
+    }
+
+    #[test]
+    fn string_bodies_are_captured() {
+        let l = lex(r##"w.line("access"); let raw = r#"tag"#; let by = b"gap";"##);
+        let strs: Vec<&str> = l.tokens.iter().filter_map(Token::str_lit).collect();
+        assert_eq!(strs, vec!["access", "tag", "gap"]);
+        // A multi-line string is attributed to its starting line.
+        let l = lex("let s = \"a\nb\";\nnext");
+        assert_eq!(
+            l.tokens.iter().find_map(|t| t.str_lit().map(|_| t.line)),
+            Some(1)
+        );
+        assert_eq!(
+            l.tokens.iter().filter_map(Token::str_lit).next(),
+            Some("a\nb")
+        );
     }
 
     #[test]

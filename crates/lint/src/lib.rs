@@ -35,13 +35,17 @@
 //! `lint:allow`; a false negative costs a nondeterministic run that may
 //! go unnoticed for months.
 
+pub mod cache;
 pub mod engine;
 pub mod findings;
 pub mod lexer;
+pub mod manifest;
+pub mod model;
 pub mod rules;
 pub mod source;
+pub mod workspace_rules;
 
-pub use engine::lint_files;
+pub use engine::{analyze_file, lint_files, lint_files_with, lint_models, WorkspaceCtx};
 pub use findings::{Finding, LintReport};
 pub use rules::{RuleMeta, ALL_RULES};
 
@@ -111,11 +115,139 @@ pub fn scan_root(root: &Path) -> io::Result<Vec<(String, String)>> {
     Ok(files)
 }
 
+/// Reject unknown rule ids before doing any work: a filter that names a
+/// rule the engine does not have would otherwise pass vacuously — the
+/// exact silent-green failure a CI gate must not allow.
+fn validate_rule_filter(only: Option<&BTreeSet<String>>) -> io::Result<()> {
+    if let Some(rules) = only {
+        for id in rules {
+            if !rules::is_known_rule(id) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("unknown rule `{id}` (known: {})", known_rule_ids()),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Comma-separated known rule ids, for error messages.
+pub fn known_rule_ids() -> String {
+    rules::ALL_RULES
+        .iter()
+        .map(|r| r.id)
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Load the pass-2 workspace context: `LAYERING.toml` and every
+/// `Cargo.toml`'s dependency declarations. A missing or unparseable
+/// manifest is not an error — it becomes a `layering` finding, so
+/// deleting the manifest fails the gate instead of disabling it.
+pub fn load_ctx(root: &Path) -> io::Result<WorkspaceCtx> {
+    let mut ctx = WorkspaceCtx::default();
+    let manifest_path = root.join("LAYERING.toml");
+    match std::fs::read_to_string(&manifest_path) {
+        Ok(text) => match manifest::LayeringManifest::parse(&text) {
+            Ok(m) => ctx.manifest = Some(m),
+            Err(e) => ctx.extra.push(Finding {
+                path: "LAYERING.toml".to_string(),
+                line: 1,
+                rule: rules::LAYERING.to_string(),
+                message: format!("LAYERING.toml is unparseable ({e}); the layering gate is down"),
+            }),
+        },
+        Err(_) => ctx.extra.push(Finding {
+            path: "LAYERING.toml".to_string(),
+            line: 1,
+            rule: rules::LAYERING.to_string(),
+            message: "LAYERING.toml not found at the workspace root — the architecture \
+                      manifest is mandatory"
+                .to_string(),
+        }),
+    }
+    // Root package + every crates/* package.
+    if let Ok(text) = std::fs::read_to_string(root.join("Cargo.toml")) {
+        ctx.cargo
+            .push(manifest::parse_cargo_deps("bin", "Cargo.toml", &text));
+    }
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<PathBuf> = std::fs::read_dir(&crates_dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.is_dir())
+            .collect();
+        dirs.sort();
+        for dir in dirs {
+            let Some(name) = dir.file_name().and_then(|n| n.to_str()) else {
+                continue;
+            };
+            let manifest_file = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest_file) {
+                ctx.cargo.push(manifest::parse_cargo_deps(
+                    name,
+                    &format!("crates/{name}/Cargo.toml"),
+                    &text,
+                ));
+            }
+        }
+    }
+    Ok(ctx)
+}
+
 /// Scan and lint the whole workspace rooted at `root`, optionally
-/// restricted to the rule ids in `only`.
+/// restricted to the rule ids in `only`. Unknown ids in `only` are an
+/// `InvalidInput` error, never a silent pass.
 pub fn lint_workspace(root: &Path, only: Option<&BTreeSet<String>>) -> io::Result<LintReport> {
+    validate_rule_filter(only)?;
     let files = scan_root(root)?;
-    Ok(engine::lint_files(&files, only))
+    let ctx = load_ctx(root)?;
+    Ok(engine::lint_files_with(&files, &ctx, only))
+}
+
+/// Warm-run statistics from [`lint_workspace_cached`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Files whose pass-1 model was replayed from the cache.
+    pub reused: usize,
+    /// Files analyzed cold (changed, new, or cache miss).
+    pub analyzed: usize,
+}
+
+/// [`lint_workspace`] with an incremental cache at `cache_path`: pass-1
+/// models of unchanged files (by content SHA-256) are replayed, changed
+/// files are re-analyzed, and the refreshed cache is written back. The
+/// report is byte-identical to a cold run — the stats never appear in
+/// it.
+pub fn lint_workspace_cached(
+    root: &Path,
+    only: Option<&BTreeSet<String>>,
+    cache_path: &Path,
+) -> io::Result<(LintReport, CacheStats)> {
+    validate_rule_filter(only)?;
+    let files = scan_root(root)?;
+    let ctx = load_ctx(root)?;
+    let old = cache::Cache::load(cache_path);
+    let mut stats = CacheStats::default();
+    let mut entries: Vec<(String, model::FileModel)> = Vec::with_capacity(files.len());
+    for (path, content) in &files {
+        let sha = cache::file_key(content);
+        let m = match old.lookup(path, &sha) {
+            Some(m) => {
+                stats.reused += 1;
+                m.clone()
+            }
+            None => {
+                stats.analyzed += 1;
+                engine::analyze_file(path, content)
+            }
+        };
+        entries.push((sha, m));
+    }
+    cache::Cache::save(cache_path, &entries)?;
+    let models: Vec<model::FileModel> = entries.into_iter().map(|(_, m)| m).collect();
+    Ok((engine::lint_models(&models, &ctx, only), stats))
 }
 
 /// `root`-relative path with forward slashes (the form rule scoping and

@@ -35,6 +35,14 @@ pub const AMBIENT_RNG: &str = "ambient-rng";
 pub const ENV_IO: &str = "env-io";
 /// No panicking shortcuts in the resilient monitor paths.
 pub const PANIC_HAZARD: &str = "panic-hazard";
+/// Dependency edges must match the `LAYERING.toml` manifest.
+pub const LAYERING: &str = "layering";
+/// No fresh allocation in functions reachable from a `lint:hot-root`.
+pub const ALLOC_HOT: &str = "alloc-hot";
+/// JSONL record tags and metric names must agree at emit/consume sites.
+pub const SCHEMA_DRIFT: &str = "schema-drift";
+/// Locks/atomics/threads only in manifest-approved modules.
+pub const LOCK_DISCIPLINE: &str = "lock-discipline";
 /// Malformed `lint:allow` directives.
 pub const BAD_ALLOW: &str = "bad-allow";
 /// `lint:allow` directives that suppress nothing.
@@ -66,6 +74,27 @@ pub const ALL_RULES: &[RuleMeta] = &[
         id: PANIC_HAZARD,
         summary: "no unwrap/expect/panic!/indexing in the resilient monitor \
                   parse/retry paths (parser, scraper, collector, dataset)",
+    },
+    RuleMeta {
+        id: LAYERING,
+        summary: "every pwnd-* dependency edge (Cargo.toml and source imports) must be \
+                  allowed by LAYERING.toml, and every declared edge must be used",
+    },
+    RuleMeta {
+        id: ALLOC_HOT,
+        summary: "no format!/clone/to_string/fresh-collection allocation in functions \
+                  reachable from a lint:hot-root anchor over the cross-crate call graph",
+    },
+    RuleMeta {
+        id: SCHEMA_DRIFT,
+        summary: "every JSONL record tag is both written (lint:jsonl-emit) and read \
+                  (lint:jsonl-consume) via the tag-table consts; no metric is read \
+                  under a name nothing emits",
+    },
+    RuleMeta {
+        id: LOCK_DISCIPLINE,
+        summary: "Mutex/atomics/threads only in modules approved by LAYERING.toml \
+                  [locks]; the simulation is single-threaded by contract",
     },
     RuleMeta {
         id: BAD_ALLOW,
@@ -125,6 +154,10 @@ pub fn applies(rule: &str, krate: &str, path: &str) -> bool {
         ENV_IO => PURE_IO_CRATES.contains(&krate),
         HASH_ORDER => krate != "tests" && krate != "examples",
         PANIC_HAZARD => RESILIENT_MONITOR_FILES.contains(&path),
+        // The workspace rules scope themselves over FileModels (test
+        // crates and manifest-approved modules are excluded there); at
+        // this per-file layer they apply everywhere.
+        LAYERING | ALLOC_HOT | SCHEMA_DRIFT | LOCK_DISCIPLINE => true,
         BAD_ALLOW | UNUSED_ALLOW => true,
         _ => false,
     }

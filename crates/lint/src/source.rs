@@ -29,11 +29,52 @@ pub struct BadAllow {
     pub why: String,
 }
 
+/// What a role directive marks an item as.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// `lint:hot-root` — this `fn` anchors `alloc-hot` reachability.
+    HotRoot,
+    /// `lint:jsonl-tags` — this item is the canonical record-tag table.
+    JsonlTags,
+    /// `lint:jsonl-emit` — this `fn` writes tagged JSONL records.
+    JsonlEmit,
+    /// `lint:jsonl-consume` — this `fn` reads tagged JSONL records.
+    JsonlConsume,
+}
+
+impl Role {
+    /// The directive spelling, as written in comments.
+    pub fn name(self) -> &'static str {
+        match self {
+            Role::HotRoot => "hot-root",
+            Role::JsonlTags => "jsonl-tags",
+            Role::JsonlEmit => "jsonl-emit",
+            Role::JsonlConsume => "jsonl-consume",
+        }
+    }
+}
+
+/// A parsed `// lint:<role>` directive. Placement follows `lint:allow`:
+/// trailing a code line it marks that line's item; on its own line it
+/// marks the next line that holds code (doc comments between the
+/// directive and the item are skipped).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RoleDirective {
+    /// Line the directive's comment starts on.
+    pub line: u32,
+    /// First code line at or below the directive — the marked item.
+    pub applies_to: u32,
+    /// What the item is marked as.
+    pub role: Role,
+}
+
 /// One `fn` item found in the file.
 #[derive(Clone, Debug)]
 pub struct FnInfo {
     /// Function name.
     pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
     /// Whether it is `pub` (any visibility qualifier counts).
     pub is_pub: bool,
     /// Whether it is test code (`#[test]` fn or inside `#[cfg(test)]`).
@@ -79,6 +120,8 @@ pub struct SourceFile {
     pub allows: Vec<AllowDirective>,
     /// Malformed suppression directives.
     pub bad_allows: Vec<BadAllow>,
+    /// Role directives (`lint:hot-root`, `lint:jsonl-…`).
+    pub roles: Vec<RoleDirective>,
 }
 
 /// Derive the short crate name from a workspace-relative path.
@@ -131,6 +174,7 @@ impl SourceFile {
         let (hash_names, hash_locals) = collect_hash_names(&tokens, &fns);
         propagate_sinks(&mut fns);
         let (allows, bad_allows) = parse_allows(&comments, &tokens);
+        let roles = parse_roles(&comments, &tokens);
         SourceFile {
             path: path.to_string(),
             krate: crate_of(path),
@@ -142,6 +186,7 @@ impl SourceFile {
             hash_locals,
             allows,
             bad_allows,
+            roles,
         }
     }
 
@@ -328,6 +373,7 @@ fn find_fns(tokens: &[Token], in_test: &[bool]) -> Vec<FnInfo> {
             };
             fns.push(FnInfo {
                 name: name.to_string(),
+                line: tokens[i].line,
                 is_pub,
                 is_test: in_test.get(i).copied().unwrap_or(false),
                 body: (open, close),
@@ -556,6 +602,57 @@ fn parse_allows(comments: &[Comment], tokens: &[Token]) -> (Vec<AllowDirective>,
     (allows, bad)
 }
 
+/// Parse role directives (`lint:hot-root`, `lint:jsonl-tags`,
+/// `lint:jsonl-emit`, `lint:jsonl-consume`) out of regular comments. An
+/// optional `: reason` tail is tolerated and ignored. The directive
+/// marks the first line at or below it that holds code, so it can sit
+/// above an item's doc comment or directly above the item.
+fn parse_roles(comments: &[Comment], tokens: &[Token]) -> Vec<RoleDirective> {
+    let code_lines: BTreeSet<u32> = tokens.iter().map(|t| t.line).collect();
+    const ROLES: &[(&str, Role)] = &[
+        ("lint:hot-root", Role::HotRoot),
+        ("lint:jsonl-tags", Role::JsonlTags),
+        ("lint:jsonl-emit", Role::JsonlEmit),
+        ("lint:jsonl-consume", Role::JsonlConsume),
+    ];
+    let mut roles = Vec::new();
+    for c in comments {
+        if c.text.starts_with('/') || c.text.starts_with('!') {
+            continue; // doc comments are prose
+        }
+        for &(spelling, role) in ROLES {
+            let Some(pos) = c.text.find(spelling) else {
+                continue;
+            };
+            // The directive must end the word there (`lint:hot-rooted`
+            // is not a directive; `lint:hot-root: reason` is).
+            let after = &c.text[pos + spelling.len()..];
+            if after
+                .chars()
+                .next()
+                .is_some_and(|ch| ch.is_ascii_alphanumeric() || ch == '-')
+            {
+                continue;
+            }
+            let applies_to = if code_lines.contains(&c.line) {
+                c.line
+            } else {
+                code_lines
+                    .range(c.line + 1..)
+                    .next()
+                    .copied()
+                    .unwrap_or(c.line + 1)
+            };
+            roles.push(RoleDirective {
+                line: c.line,
+                applies_to,
+                role,
+            });
+        }
+    }
+    roles
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -624,6 +721,27 @@ mod tests {
                 .unwrap()
                 .reaches_sink
         );
+    }
+
+    #[test]
+    fn role_directives_attach_past_doc_comments() {
+        let src = "\
+// lint:hot-root: the search hot loop
+/// Doc prose that must not absorb the directive.
+pub fn search() {}
+pub fn emit() {} // lint:jsonl-emit
+// lint:hot-rooted is not a directive
+fn other() {}
+";
+        let f = SourceFile::new("crates/webmail/src/x.rs", src);
+        assert_eq!(f.roles.len(), 2, "{:?}", f.roles);
+        assert_eq!(f.roles[0].role, Role::HotRoot);
+        // Skips the doc-comment line and lands on the fn itself.
+        assert_eq!(f.roles[0].applies_to, 3);
+        assert_eq!(f.roles[1].role, Role::JsonlEmit);
+        assert_eq!(f.roles[1].applies_to, 4);
+        let search = f.fns.iter().find(|x| x.name == "search").unwrap();
+        assert_eq!(search.line, 3);
     }
 
     #[test]

@@ -1,0 +1,28 @@
+//! Seeded hot-path allocations, exercising the loop-aware semantics:
+//! only allocation that *repeats within one event* is a finding.
+
+// lint:hot-root
+pub fn hot(n: usize) -> String {
+    let mut out = String::new();
+    let header = compose_header();
+    for i in 0..n {
+        let s = format!("{i}");
+        out.push_str(&s);
+        append_item(&mut out);
+        let label = i.to_string(); // lint:allow(alloc-hot): the fixture audits one per-item label
+        out.push_str(&label);
+    }
+    out.push_str(&header);
+    out
+}
+
+fn append_item(out: &mut String) {
+    let piece = vec![b'x'];
+    out.push(piece[0] as char);
+}
+
+fn compose_header() -> String {
+    let mut h = String::new();
+    h.push_str("hdr");
+    h
+}

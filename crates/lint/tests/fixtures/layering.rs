@@ -1,0 +1,8 @@
+//! Seeded layering violations: the monitor reaching into provider
+//! internals the manifest never granted it.
+
+use pwnd_core::report::Overview;
+use pwnd_webmail::mailbox::Mailbox;
+use pwnd_corpus::email::Email; // lint:allow(layering): the fixture audits one sanctioned exception
+
+pub fn peek(_a: &Overview, _b: &Mailbox, _c: &Email) {}

@@ -1,0 +1,8 @@
+//! Seeded concurrency outside the manifest-approved modules.
+
+pub fn tally(v: u32) -> u32 {
+    let m = std::sync::Mutex::new(v);
+    drop(m);
+    let a = std::sync::atomic::AtomicU32::new(v); // lint:allow(lock-discipline): the fixture audits one approved counter
+    a.into_inner()
+}

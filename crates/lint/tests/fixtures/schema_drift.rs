@@ -1,0 +1,31 @@
+//! Seeded schema drift: an emit-only tag, a re-inlined tag literal,
+//! and a metric read under a name nothing emits.
+
+// lint:jsonl-tags
+pub mod tags {
+    pub const LIVE: &str = "live";
+    pub const ORPHAN: &str = "orphan";
+    pub const GHOST: &str = "ghost"; // lint:allow(schema-drift): the fixture audits one future record kind
+}
+
+// lint:jsonl-emit
+pub fn write_all(w: &mut W) {
+    w.line(tags::LIVE);
+    w.line(tags::ORPHAN);
+    w.line(tags::GHOST);
+    w.line("live");
+}
+
+// lint:jsonl-consume
+pub fn read_all(r: &R) {
+    r.read(tags::LIVE);
+}
+
+pub fn stale_metric(snap: &Snapshot) -> u64 {
+    snap.counter("fleet.ghost")
+}
+
+pub fn live_metric(sink: &Sink, snap: &Snapshot) -> u64 {
+    sink.count("fleet.ok");
+    snap.counter("fleet.ok")
+}

@@ -18,12 +18,30 @@ use crate::dataset::{AccountRecord, Dataset, GapRecord, ParsedAccess};
 use pwnd_telemetry::json::{Json, JsonError};
 use std::io::{self, Write};
 
+/// The canonical JSONL record-kind tags: the single `pub const` table
+/// shared by [`DatasetWriter`] (emit), [`read_jsonl`] (consume),
+/// [`record_tag`] callers, and the fleet store's streaming merge. Every
+/// tag string in the workspace comes from here — `pwnd-lint`'s
+/// `schema-drift` rule checks that each tag is both written and read,
+/// and that no site re-introduces an inline literal.
+// lint:jsonl-tags
+pub mod tags {
+    /// One parsed access (a session aggregated by the monitor).
+    pub const ACCESS: &str = "access";
+    /// Per-account metadata (outlet, leak time, hijack/block marks).
+    pub const ACCOUNT: &str = "account";
+    /// One opened-email text snapshot (TF-IDF input).
+    pub const OPENED_TEXT: &str = "opened_text";
+    /// One monitoring-gap interval (fault-injection coverage hole).
+    pub const GAP: &str = "gap";
+}
+
 /// Incremental JSONL writer for dataset records.
 ///
 /// Each line is a two-key object `{"record": <tag>, "value": <record>}`
-/// with tag `"access"`, `"account"`, `"opened_text"`, or `"gap"`, in the
-/// compact JSON rendering. Lines are written (and counted) as records
-/// arrive; nothing is buffered beyond the current line.
+/// with a tag from [`tags`], in the compact JSON rendering. Lines are
+/// written (and counted) as records arrive; nothing is buffered beyond
+/// the current line.
 pub struct DatasetWriter<W: Write> {
     out: W,
     records: u64,
@@ -48,23 +66,27 @@ impl<W: Write> DatasetWriter<W> {
     }
 
     /// Emit one parsed access.
+    // lint:jsonl-emit
     pub fn access(&mut self, a: &ParsedAccess) -> io::Result<()> {
-        self.line("access", a.to_json_value())
+        self.line(tags::ACCESS, a.to_json_value())
     }
 
     /// Emit one per-account metadata record.
+    // lint:jsonl-emit
     pub fn account(&mut self, a: &AccountRecord) -> io::Result<()> {
-        self.line("account", a.to_json_value())
+        self.line(tags::ACCOUNT, a.to_json_value())
     }
 
     /// Emit one opened-email text snapshot.
+    // lint:jsonl-emit
     pub fn opened_text(&mut self, text: &str) -> io::Result<()> {
-        self.line("opened_text", Json::Str(text.to_string()))
+        self.line(tags::OPENED_TEXT, Json::Str(text.to_string()))
     }
 
     /// Emit one monitoring-gap record.
+    // lint:jsonl-emit
     pub fn gap(&mut self, g: &GapRecord) -> io::Result<()> {
-        self.line("gap", g.to_json_value())
+        self.line(tags::GAP, g.to_json_value())
     }
 
     /// Stream every record of an already-built dataset, in the same
@@ -102,12 +124,13 @@ impl<W: Write> DatasetWriter<W> {
 /// serialization order. The fleet store's streaming merge walks shard
 /// files once per tag in this order so concatenation reproduces the
 /// in-memory export byte for byte.
-pub const RECORD_TAGS: [&str; 4] = ["access", "account", "opened_text", "gap"];
+pub const RECORD_TAGS: [&str; 4] = [tags::ACCESS, tags::ACCOUNT, tags::OPENED_TEXT, tags::GAP];
 
 /// The record tag of one JSONL line, without parsing the record — the
 /// streaming fleet-store merge classifies millions of lines with this.
 /// Returns `None` for lines not starting with the writer's exact
 /// `{"record":"<tag>"` prefix (including blank and truncated lines).
+// lint:jsonl-consume
 pub fn record_tag(line: &str) -> Option<&str> {
     let rest = line.strip_prefix("{\"record\":\"")?;
     rest.find('"').map(|end| &rest[..end])
@@ -146,6 +169,7 @@ pub struct JsonlRead {
 /// marker instead of failing the whole stream. Everything else —
 /// malformed JSON mid-stream, an unknown tag, a record missing fields —
 /// is an error naming the line and record kind.
+// lint:jsonl-consume
 pub fn read_jsonl(stream: &str) -> Result<JsonlRead, JsonError> {
     let last_data_line = stream
         .lines()
@@ -192,21 +216,22 @@ pub fn read_jsonl(stream: &str) -> Result<JsonlRead, JsonError> {
             })
         })?;
         match tag {
-            "access" => ds
+            tags::ACCESS => ds
                 .accesses
                 .push(ParsedAccess::from_json_value(value).map_err(kinded)?),
-            "account" => ds
+            tags::ACCOUNT => ds
                 .accounts
                 .push(AccountRecord::from_json_value(value).map_err(kinded)?),
-            "opened_text" => ds
-                .opened_texts
-                .push(value.as_str().map(String::from).ok_or_else(|| {
-                    kinded(JsonError {
-                        msg: "value must be a string".to_string(),
-                        at: 0,
-                    })
-                })?),
-            "gap" => ds
+            tags::OPENED_TEXT => {
+                ds.opened_texts
+                    .push(value.as_str().map(String::from).ok_or_else(|| {
+                        kinded(JsonError {
+                            msg: "value must be a string".to_string(),
+                            at: 0,
+                        })
+                    })?)
+            }
+            tags::GAP => ds
                 .gaps
                 .push(GapRecord::from_json_value(value).map_err(kinded)?),
             other => {

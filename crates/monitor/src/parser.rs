@@ -146,8 +146,8 @@ fn parse_inner(text: &str, strict: bool) -> Result<(ParsedPage, Vec<ParseError>)
     }
     let mut account: Option<u32> = None;
     let mut scraped_at: Option<SimTime> = None;
-    let mut rows = Vec::new();
-    let mut failures = Vec::new();
+    let mut rows = Vec::new(); // lint:allow(alloc-hot): the parsed page's own row buffer, one per dump
+    let mut failures = Vec::new(); // lint:allow(alloc-hot): empty until the first malformed line
     for (i, line) in lines {
         let n = i + 1;
         let mut fields = line.split('\t');
@@ -171,7 +171,7 @@ fn parse_inner(text: &str, strict: bool) -> Result<(ParsedPage, Vec<ParseError>)
                 parse_row(n, &parts).map(|r| rows.push(r))
             }
             Some("") | None => Ok(()),
-            Some(other) => Err(err(n, &format!("unknown record {other}"))),
+            Some(other) => Err(err(n, &format!("unknown record {other}"))), // lint:allow(alloc-hot): malformed-input path only
         };
         if let Err(e) = result {
             if strict {
@@ -208,6 +208,7 @@ pub fn parse_page_resilient(text: &str) -> Result<(ParsedPage, Vec<ParseError>),
 /// Parse a batch of dump files leniently. Unsalvageable pages and
 /// skipped lines are counted into `monitor.parse_failures` (labels
 /// `page` and `line`) and reported alongside the recovered pages.
+// lint:hot-root
 pub fn parse_dumps(
     texts: &[String],
     telemetry: &TelemetrySink,

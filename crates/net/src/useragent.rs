@@ -174,26 +174,36 @@ pub fn render_user_agent(browser: Browser, os: Os) -> String {
         Os::ChromeOs => "X11; CrOS x86_64 7262.57.0",
         Os::Unknown => "compatible",
     };
-    match browser {
-        Browser::Chrome => format!(
-            "Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.85 Safari/537.36"
+    // Every template is static text around a single platform insertion,
+    // so the string is built with one exact-size allocation instead of
+    // formatter machinery — this runs once per simulated connection.
+    let (prefix, suffix): (&str, &str) = match browser {
+        Browser::Chrome => (
+            "Mozilla/5.0 (",
+            ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.85 Safari/537.36",
         ),
-        Browser::Firefox => format!("Mozilla/5.0 ({platform}; rv:40.0) Gecko/20100101 Firefox/40.0"),
-        Browser::Opera => format!(
-            "Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.85 Safari/537.36 OPR/32.0.1948.25"
+        Browser::Firefox => ("Mozilla/5.0 (", "; rv:40.0) Gecko/20100101 Firefox/40.0"),
+        Browser::Opera => (
+            "Mozilla/5.0 (",
+            ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/45.0.2454.85 Safari/537.36 OPR/32.0.1948.25",
         ),
-        Browser::Edge => format!(
-            "Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/42.0.2311.135 Safari/537.36 Edge/12.10240"
+        Browser::Edge => (
+            "Mozilla/5.0 (",
+            ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/42.0.2311.135 Safari/537.36 Edge/12.10240",
         ),
-        Browser::Explorer => format!("Mozilla/5.0 ({platform}; Trident/7.0; rv:11.0) like Gecko"),
-        Browser::Iceweasel => {
-            format!("Mozilla/5.0 ({platform}; rv:38.0) Gecko/20100101 Iceweasel/38.2.1")
-        }
-        Browser::Vivaldi => format!(
-            "Mozilla/5.0 ({platform}) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/44.0.2403.155 Safari/537.36 Vivaldi/1.0.252.3"
+        Browser::Explorer => ("Mozilla/5.0 (", "; Trident/7.0; rv:11.0) like Gecko"),
+        Browser::Iceweasel => ("Mozilla/5.0 (", "; rv:38.0) Gecko/20100101 Iceweasel/38.2.1"),
+        Browser::Vivaldi => (
+            "Mozilla/5.0 (",
+            ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/44.0.2403.155 Safari/537.36 Vivaldi/1.0.252.3",
         ),
-        Browser::Unknown => String::new(),
-    }
+        Browser::Unknown => return String::new(), // lint:allow(alloc-hot): an empty String never touches the heap
+    };
+    let mut ua = String::with_capacity(prefix.len() + platform.len() + suffix.len());
+    ua.push_str(prefix);
+    ua.push_str(platform);
+    ua.push_str(suffix);
+    ua
 }
 
 /// What the server observed about a client.

@@ -105,6 +105,7 @@ impl SearchIndex {
     /// `BTreeSet` per term), and short-circuits to empty as soon as any
     /// term has no postings at all — including terms the shared arena
     /// has never interned, which by definition appear in no mailbox.
+    // lint:hot-root
     pub fn search(&mut self, vocab: &Interner, query: &str, at: SimTime) -> Vec<EmailId> {
         let mut terms: Vec<String> = terms_of(query).collect();
         terms.sort_unstable();

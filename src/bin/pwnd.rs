@@ -13,7 +13,7 @@
 //! pwnd bench   [--json FILE] [--reps N] [--jobs N] [--check FILE] [--tolerance PCT]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
-//! pwnd lint    [--deny] [--json]
+//! pwnd lint    [--deny] [--json] [--rule ID]...
 //! ```
 
 use pwnd::cli;
@@ -73,6 +73,8 @@ flags:
                    exit nonzero on regression
   --tolerance PCT  (bench --check) allowed regression percentage (default 25)
   --deny           (lint) exit nonzero when any finding survives suppression
+  --rule ID        (lint) check only this rule (repeatable); unknown rule
+                   ids are an error, never a silent pass
   --json           (lint) emit the machine-readable report;
                    (bench) takes a FILE argument and writes the JSON there
   -h, --help       print this help";
@@ -102,6 +104,7 @@ struct Args {
     telemetry_out: Option<String>,
     check: Option<String>,
     tolerance: f64,
+    rules: std::collections::BTreeSet<String>,
 }
 
 enum Cli {
@@ -134,6 +137,7 @@ fn parse(mut argv: std::env::Args) -> Cli {
         deny: false,
         json: false,
         json_out: None,
+        // lint:allow(lock-discipline): one-shot core-count read for a CLI default; no shared state
         jobs: std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -145,6 +149,7 @@ fn parse(mut argv: std::env::Args) -> Cli {
         telemetry_out: None,
         check: None,
         tolerance: 25.0,
+        rules: std::collections::BTreeSet::new(),
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -287,6 +292,20 @@ fn parse(mut argv: std::env::Args) -> Cli {
             "--deny" => {
                 args.deny = true;
                 i += 1;
+            }
+            "--rule" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                if !pwnd_lint::rules::is_known_rule(v) {
+                    eprintln!(
+                        "unknown rule `{v}` (known: {})",
+                        pwnd_lint::known_rule_ids()
+                    );
+                    return Cli::Invalid;
+                }
+                args.rules.insert(v.clone());
+                i += 2;
             }
             "--json" => {
                 // For bench, --json names the output file; everywhere
@@ -701,7 +720,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let report = match pwnd_lint::lint_workspace(&root, None) {
+            let only = (!args.rules.is_empty()).then_some(&args.rules);
+            let report = match pwnd_lint::lint_workspace(&root, only) {
                 Ok(r) => r,
                 Err(e) => {
                     eprintln!("pwnd lint: scan failed under {}: {e}", root.display());

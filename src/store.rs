@@ -41,13 +41,13 @@ use pwnd_analysis::tables::Overview;
 use pwnd_core::fleet::{run_fleet_shards, FleetConfig, ShardSpec};
 use pwnd_core::hash::{hex, Sha256};
 use pwnd_monitor::dataset::{AccountRecord, ParsedAccess};
-use pwnd_monitor::export::{record_tag, RECORD_TAGS};
+use pwnd_monitor::export::{record_tag, tags, RECORD_TAGS};
 use pwnd_telemetry::json::Json;
 use pwnd_telemetry::{Table, TelemetryReport, TelemetrySink};
 use std::fs::{self, File};
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::Mutex; // lint:allow(lock-discipline): manifest guard for the resumable fleet run
 
 /// Manifest format tag; bump on any incompatible layout change so old
 /// stores are rejected loudly instead of misread.
@@ -444,6 +444,7 @@ pub fn run_fleet_store(cfg: &FleetConfig, dir: &Path) -> io::Result<StoreRun> {
 
     // Execute. Each completed shard is made durable (file, then
     // manifest) from inside the worker that produced it.
+    // lint:allow(lock-discipline): serializes manifest writes from fleet workers; ordering is by shard index, so the run stays deterministic
     let manifest_state = Mutex::new(pruned);
     let summary = run_fleet_shards(cfg, &to_run, |spec, bytes| {
         let file = shard_file_name(spec.index);
@@ -541,6 +542,7 @@ fn open_verified(dir: &Path) -> io::Result<(FleetStore, Manifest)> {
 /// of an uninterrupted in-memory run at the same seed/config. Walks
 /// the shard files once per record kind in shard order, copying raw
 /// lines — peak memory is one line. Returns records written.
+// lint:jsonl-consume
 pub fn merge_store_jsonl<W: Write>(dir: &Path, mut out: W) -> io::Result<u64> {
     let (store, manifest) = open_verified(dir)?;
     let mut written = 0u64;
@@ -564,10 +566,11 @@ pub fn merge_store_jsonl<W: Write>(dir: &Path, mut out: W) -> io::Result<u64> {
 /// Stream the §4.1 overview out of a verified store without ever
 /// materializing the dataset: one pass over every shard file for the
 /// account records, one for the accesses.
+// lint:jsonl-consume
 pub fn store_overview(dir: &Path) -> io::Result<Overview> {
     let (store, manifest) = open_verified(dir)?;
     let mut b = OverviewBuilder::new();
-    for tag in ["account", "access"] {
+    for tag in [tags::ACCOUNT, tags::ACCESS] {
         for e in &manifest.shards {
             let reader = BufReader::new(File::open(store.path(&e.file))?);
             for (lineno, line) in reader.lines().enumerate() {
@@ -581,7 +584,7 @@ pub fn store_overview(dir: &Path) -> io::Result<Overview> {
                         msg: "missing value".to_string(),
                         at: 0,
                     })?;
-                    if tag == "account" {
+                    if tag == tags::ACCOUNT {
                         b.add_account(&AccountRecord::from_json_value(value)?);
                     } else {
                         b.add_access(&ParsedAccess::from_json_value(value)?);
