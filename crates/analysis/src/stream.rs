@@ -5,7 +5,7 @@
 //! dataset never exists in RAM — records arrive one at a time from
 //! per-shard JSONL files. [`OverviewBuilder`] accepts exactly those
 //! records incrementally and produces the same
-//! [`Overview`](crate::tables::Overview): feed every account record
+//! [`Overview`]: feed every account record
 //! first (the outlet lookup accesses need), then every access.
 //! `overview()` itself is now a thin wrapper over this builder, so the
 //! streaming and in-memory paths cannot drift apart.

@@ -105,6 +105,7 @@ const METRIC_EMIT_METHODS: &[&str] = &[
     "gauge_set",
     "gauge_max",
     "observe",
+    "observe_labeled",
 ];
 
 /// Snapshot methods that *consume* a metric by name.

@@ -452,7 +452,9 @@ impl GapRecord {
         ])
     }
 
-    pub(crate) fn from_json_value(v: &Json) -> Result<GapRecord, JsonError> {
+    /// Parse one gap record from its JSON value (the `"value"` of a
+    /// `"gap"` JSONL line); see [`ParsedAccess::from_json_value`].
+    pub fn from_json_value(v: &Json) -> Result<GapRecord, JsonError> {
         Ok(GapRecord {
             account: u32_field(v, "account")?,
             kind: str_field(v, "kind")?,

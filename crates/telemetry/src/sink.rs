@@ -151,6 +151,12 @@ impl TelemetrySink {
         self.with(|i| i.metrics.observe(name, None, value));
     }
 
+    /// Record a labelled histogram observation (`name{label}`) — e.g.
+    /// per-endpoint request latencies keyed by route pattern.
+    pub fn observe_labeled(&self, name: &'static str, label: &str, value: u64) {
+        self.with(|i| i.metrics.observe(name, Some(label), value));
+    }
+
     // ---- trace ---------------------------------------------------------
 
     /// Record a trace event with no detail.

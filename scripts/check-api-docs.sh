@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Cross-check API.md against the routes the daemon actually registers.
+#
+# The daemon is the source of truth: `pwnd serve --print-routes` prints
+# one "METHOD /pattern" line per registered route. API.md must document
+# exactly that set — each endpoint as a `### `METHOD /pattern`` heading.
+# A documented-but-unregistered endpoint (or the reverse) fails CI.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+bin="${PWND_BIN:-$repo/target/release/pwnd}"
+if [ ! -x "$bin" ]; then
+    bin="$repo/target/debug/pwnd"
+fi
+if [ ! -x "$bin" ]; then
+    echo "check-api-docs: no pwnd binary; run 'cargo build' first (or set PWND_BIN)" >&2
+    exit 1
+fi
+
+registered="$("$bin" serve --print-routes | LC_ALL=C sort)"
+documented="$(grep -E '^### `(GET|HEAD|POST|PUT|DELETE) /' "$repo/API.md" \
+    | sed -E 's/^### `([^`]*)`.*/\1/' | LC_ALL=C sort)"
+
+if diff <(printf '%s\n' "$registered") <(printf '%s\n' "$documented") >/dev/null; then
+    count="$(printf '%s\n' "$registered" | wc -l | tr -d ' ')"
+    echo "check-api-docs: API.md documents all $count registered routes"
+else
+    echo "check-api-docs: API.md drifts from the registered routes" >&2
+    echo "--- registered (pwnd serve --print-routes)  +++ documented (API.md headings)" >&2
+    diff <(printf '%s\n' "$registered") <(printf '%s\n' "$documented") >&2 || true
+    exit 1
+fi

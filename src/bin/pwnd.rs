@@ -10,6 +10,10 @@
 //! pwnd fleet   [--accounts N] [--jobs N] [--seed N] [--out FILE] [--out-dir DIR]
 //!              [--telemetry-out FILE] [--profile]
 //! pwnd report  --input PATH
+//! pwnd serve   --input DIR [--addr HOST:PORT] [--jobs N] [--rate N] [--profile]
+//! pwnd serve   --print-routes
+//! pwnd serve-bench --input DIR [--clients N] [--requests N] [--jobs N] [--rate N]
+//!              [--min-throughput N] [--json FILE]
 //! pwnd bench   [--json FILE] [--reps N] [--jobs N] [--check FILE] [--tolerance PCT]
 //! pwnd leaks   [--seed N]
 //! pwnd truth   [--seed N]
@@ -34,6 +38,10 @@ commands:
   chaos    data-loss ablation: sweep fault-rate factors over one seed
   fleet    one sharded experiment over a large account population
   report   §4.1 overview of an exported dataset or an on-disk fleet store
+  serve    breach-intelligence query daemon: serve the /v1 JSON API over a
+           fleet store (see API.md); stops on EOF on stdin
+  serve-bench  load-generate against an in-process daemon over a fleet store
+           and report throughput + latency percentiles
   bench    perf baseline: run the benchmark workloads, report median/min
   leaks    the leak plan actually executed
   truth    ground-truth vs observed audit
@@ -46,10 +54,14 @@ flags:
   --decoys         seed decoy documents into every mailbox
   --faults NAME    fault profile: none | light | heavy (default none);
                    for chaos, the profile whose rates are scaled (default heavy)
-  --profile        (run) print phase timings and the metrics summary;
-                   (sweep/chaos) print the runner speedup breakdown too
+  --profile        (run/fleet) print phase timings and the metrics summary;
+                   (sweep/chaos) print the runner speedup breakdown too;
+                   (serve) print request telemetry on shutdown;
+                   (lint) print the lint.findings metrics
   --jobs N         (sweep/chaos/fleet/bench) worker threads (default: all
-                   cores); --jobs 1 is the sequential path, output is identical
+                   cores); --jobs 1 is the sequential path, output is identical;
+                   (serve/serve-bench) HTTP worker threads (floored at 4),
+                   which also bound concurrent connections
   --accounts N     (fleet) honey-account population (default 1000), sharded
                    into 100-account sub-experiments
   --out FILE       (export) output path (default dataset.json);
@@ -64,7 +76,8 @@ flags:
   --collapsed FILE (profile) write the flamegraph collapsed-stack export there
   --input PATH     (profile) analyse a streamed --telemetry-out JSONL file
                    offline instead of running an experiment;
-                   (report) a fleet store directory or a JSONL dataset file
+                   (report) a fleet store directory or a JSONL dataset file;
+                   (serve/serve-bench) the fleet store directory to serve
   --telemetry-out FILE (fleet) stream one telemetry report line per shard
                    there while the fleet runs (forces telemetry on)
   --seeds N        (sweep) number of seeds (default 8)
@@ -72,11 +85,23 @@ flags:
   --check FILE     (bench) compare medians against this baseline JSON and
                    exit nonzero on regression
   --tolerance PCT  (bench --check) allowed regression percentage (default 25)
+  --addr HOST:PORT (serve) listen address (default 127.0.0.1:8080; port 0
+                   binds an ephemeral port, printed on startup)
+  --rate N         (serve/serve-bench) token-bucket rate limit: N requests/s
+                   sustained with an N-request burst; excess gets 429 with
+                   Retry-After (default: unlimited)
+  --print-routes   (serve) print the registered /v1 routes and exit
+  --clients N      (serve-bench) concurrent client connections (default 4)
+  --requests N     (serve-bench) total requests across all clients
+                   (default 10000)
+  --min-throughput N (serve-bench) exit nonzero below N requests/s (the CI
+                   floor); 5xx responses always fail the run
   --deny           (lint) exit nonzero when any finding survives suppression
   --rule ID        (lint) check only this rule (repeatable); unknown rule
                    ids are an error, never a silent pass
   --json           (lint) emit the machine-readable report;
-                   (bench) takes a FILE argument and writes the JSON there
+                   (bench/serve-bench) takes a FILE argument and writes the
+                   JSON report there
   -h, --help       print this help";
 
 struct Args {
@@ -105,6 +130,12 @@ struct Args {
     check: Option<String>,
     tolerance: f64,
     rules: std::collections::BTreeSet<String>,
+    addr: String,
+    rate: Option<u32>,
+    print_routes: bool,
+    clients: usize,
+    requests: u64,
+    min_throughput: Option<f64>,
 }
 
 enum Cli {
@@ -150,6 +181,12 @@ fn parse(mut argv: std::env::Args) -> Cli {
         check: None,
         tolerance: 25.0,
         rules: std::collections::BTreeSet::new(),
+        addr: "127.0.0.1:8080".to_string(),
+        rate: None,
+        print_routes: false,
+        clients: 4,
+        requests: 10_000,
+        min_throughput: None,
     };
     let rest: Vec<String> = argv.collect();
     let mut i = 0;
@@ -273,6 +310,45 @@ fn parse(mut argv: std::env::Args) -> Cli {
                 args.tolerance = v;
                 i += 2;
             }
+            "--addr" => {
+                let Some(v) = rest.get(i + 1) else {
+                    return Cli::Invalid;
+                };
+                args.addr = v.clone();
+                i += 2;
+            }
+            "--rate" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.rate = Some(v);
+                i += 2;
+            }
+            "--print-routes" => {
+                args.print_routes = true;
+                i += 1;
+            }
+            "--clients" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.clients = v;
+                i += 2;
+            }
+            "--requests" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.requests = v;
+                i += 2;
+            }
+            "--min-throughput" => {
+                let Some(v) = rest.get(i + 1).and_then(|s| s.parse().ok()) else {
+                    return Cli::Invalid;
+                };
+                args.min_throughput = Some(v);
+                i += 2;
+            }
             "--quick" => {
                 args.quick = true;
                 i += 1;
@@ -308,9 +384,9 @@ fn parse(mut argv: std::env::Args) -> Cli {
                 i += 2;
             }
             "--json" => {
-                // For bench, --json names the output file; everywhere
-                // else it is a boolean switch.
-                if command == "bench" {
+                // For bench and serve-bench, --json names the output
+                // file; everywhere else it is a boolean switch.
+                if command == "bench" || command == "serve-bench" {
                     let Some(v) = rest.get(i + 1) else {
                         return Cli::Invalid;
                     };
@@ -627,6 +703,148 @@ fn main() -> ExitCode {
                 pwnd::analysis::tables::overview(&read.dataset)
             };
             print!("{}", cli::overview_table(&ov));
+        }
+        "serve" => {
+            if args.print_routes {
+                // The machine-checkable route list: CI diffs this
+                // against the endpoints API.md documents.
+                for r in pwnd::serve::ROUTES {
+                    println!("{} {}", r.method, r.pattern);
+                }
+                return ExitCode::SUCCESS;
+            }
+            let Some(input) = &args.input else {
+                eprintln!("pwnd serve: --input DIR is required (a fleet store directory)");
+                return ExitCode::FAILURE;
+            };
+            let index = match pwnd::serve::QueryIndex::from_store(std::path::Path::new(input)) {
+                Ok(idx) => std::sync::Arc::new(idx),
+                Err(e) => {
+                    eprintln!("pwnd serve: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let sink = if args.profile {
+                TelemetrySink::enabled()
+            } else {
+                TelemetrySink::disabled()
+            };
+            // A worker owns its connection for that connection's
+            // lifetime, so the pool bounds concurrent clients; floor it
+            // at 4 even on small machines.
+            let threads = args.jobs.clamp(4, 64);
+            let opts = pwnd::serve::ServeOptions {
+                threads,
+                rate: args.rate.map(pwnd::serve::RateLimit::per_second),
+                telemetry: sink.clone(),
+            };
+            let server = match pwnd::serve::Server::bind(&args.addr, index, opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pwnd serve: cannot bind {}: {e}", args.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "pwnd serve: {} on http://{}/ ({threads} threads{}); EOF on stdin stops it",
+                input,
+                server.addr(),
+                match args.rate {
+                    Some(n) => format!(", rate limit {n}/s"),
+                    None => String::new(),
+                }
+            );
+            // Graceful-shutdown trigger without signal handling: the
+            // daemon runs until its stdin closes (Ctrl-D interactively,
+            // pipe closure under a supervisor, `kill` otherwise).
+            let mut sink_hole = String::new();
+            loop {
+                sink_hole.clear();
+                match std::io::Read::read_to_string(&mut std::io::stdin(), &mut sink_hole) {
+                    Ok(0) | Err(_) => break,
+                    Ok(_) => {}
+                }
+            }
+            server.shutdown();
+            eprintln!("pwnd serve: stopped");
+            if args.profile {
+                println!("{}", sink.report().render());
+            }
+        }
+        "serve-bench" => {
+            // Hammer an in-process daemon over the store and report
+            // throughput + latency percentiles (the BENCH trajectory's
+            // serving numbers).
+            let Some(input) = &args.input else {
+                eprintln!("pwnd serve-bench: --input DIR is required (a fleet store directory)");
+                return ExitCode::FAILURE;
+            };
+            let index = match pwnd::serve::QueryIndex::from_store(std::path::Path::new(input)) {
+                Ok(idx) => std::sync::Arc::new(idx),
+                Err(e) => {
+                    eprintln!("pwnd serve-bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let opts = pwnd::serve::ServeOptions {
+                // Every closed-loop client pins a worker for the whole
+                // run, so the pool must cover them all.
+                threads: args.jobs.clamp(4, 64).max(args.clients),
+                rate: args.rate.map(pwnd::serve::RateLimit::per_second),
+                telemetry: TelemetrySink::disabled(),
+            };
+            let server = match pwnd::serve::Server::bind("127.0.0.1:0", index.clone(), opts) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("pwnd serve-bench: cannot bind: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mix = pwnd::serve::loadgen::query_mix(&index, 16);
+            let result = pwnd::serve::loadgen::run(
+                server.addr(),
+                &mix,
+                &pwnd::serve::LoadgenOptions {
+                    clients: args.clients,
+                    requests: args.requests,
+                },
+            );
+            server.shutdown();
+            let report = match result {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("pwnd serve-bench: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            print!("{}", report.table().render());
+            if let Some(path) = &args.json_out {
+                if std::fs::write(path, report.to_json()).is_err() {
+                    eprintln!("cannot write {path}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            if report.server_errors > 0 {
+                eprintln!(
+                    "pwnd serve-bench: {} server error(s) (5xx) — failing",
+                    report.server_errors
+                );
+                return ExitCode::FAILURE;
+            }
+            if let Some(floor) = args.min_throughput {
+                if report.throughput_rps < floor {
+                    eprintln!(
+                        "pwnd serve-bench: throughput {:.0} req/s is below the {floor:.0} req/s floor",
+                        report.throughput_rps
+                    );
+                    return ExitCode::FAILURE;
+                }
+                eprintln!(
+                    "pwnd serve-bench: {:.0} req/s clears the {floor:.0} req/s floor",
+                    report.throughput_rps
+                );
+            }
         }
         "bench" => {
             let report = cli::bench_report(args.reps, args.jobs);

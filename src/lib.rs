@@ -25,6 +25,7 @@
 //! | [`telemetry`] | `pwnd-telemetry` | metrics, run tracing, phase profiling |
 //! | [`faults`] | `pwnd-faults` | deterministic fault injection + retry policy |
 //! | [`core`] | `pwnd-core` | experiment orchestration, runner, fleet engine |
+//! | [`serve`] | `pwnd-serve` | breach-intelligence query daemon over fleet stores |
 //! | [`lint`] | `pwnd-lint` | the determinism & invariant linter (CI gate) |
 //!
 //! ## Quickstart
@@ -48,6 +49,7 @@ pub use pwnd_leak as leak;
 pub use pwnd_lint as lint;
 pub use pwnd_monitor as monitor;
 pub use pwnd_net as net;
+pub use pwnd_serve as serve;
 pub use pwnd_sim as sim;
 pub use pwnd_telemetry as telemetry;
 pub use pwnd_webmail as webmail;

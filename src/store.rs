@@ -20,6 +20,13 @@
 //!   (`fleet.shards_recovered`), and is deterministically re-run; the
 //!   rebuilt store is byte-identical to an uninterrupted run.
 //!
+//! This module owns the *write* side of the format. The manifest model
+//! and the verified reader ([`VerifiedStore`]) live in
+//! [`pwnd_serve::store`] so the query daemon can consume stores without
+//! depending on the CLI crate; they are re-exported here unchanged, so
+//! existing `pwnd::store::{Manifest, ShardEntry, ...}` imports keep
+//! working.
+//!
 //! ## Atomicity protocol
 //!
 //! Every durable write — shard file or manifest — goes through
@@ -36,182 +43,25 @@
 //! [`FleetOutput::write_jsonl`](pwnd_core::FleetOutput::write_jsonl)
 //! on an in-memory run of the same config, and peak memory is one line.
 
+pub use pwnd_serve::store::{
+    file_sha256, shard_file_name, shard_state, Manifest, ShardEntry, ShardState, VerifiedStore,
+    MANIFEST_FILE, MANIFEST_FORMAT,
+};
+
 use pwnd_analysis::stream::OverviewBuilder;
 use pwnd_analysis::tables::Overview;
 use pwnd_core::fleet::{run_fleet_shards, FleetConfig, ShardSpec};
-use pwnd_core::hash::{hex, Sha256};
+use pwnd_core::hash::Sha256;
 use pwnd_monitor::dataset::{AccountRecord, ParsedAccess};
 use pwnd_monitor::export::{record_tag, tags, RECORD_TAGS};
 use pwnd_telemetry::json::Json;
 use pwnd_telemetry::{Table, TelemetryReport, TelemetrySink};
 use std::fs::{self, File};
-use std::io::{self, BufRead, BufReader, Read, Write};
+use std::io::{self, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Mutex; // lint:allow(lock-discipline): manifest guard for the resumable fleet run
 
-/// Manifest format tag; bump on any incompatible layout change so old
-/// stores are rejected loudly instead of misread.
-pub const MANIFEST_FORMAT: &str = "pwnd-fleet-store/1";
-
-/// The manifest file name inside a store directory.
-pub const MANIFEST_FILE: &str = "manifest.json";
-
-/// The on-disk file name of shard `index`.
-pub fn shard_file_name(index: usize) -> String {
-    format!("shard-{index:05}.jsonl")
-}
-
-/// One verified-shard claim in the manifest: the shard's identity plus
-/// the exact bytes its file must hash to.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct ShardEntry {
-    /// The shard's identity (seed, size, account range, config hash).
-    pub spec: ShardSpec,
-    /// File name inside the store directory.
-    pub file: String,
-    /// SHA-256 of the shard file's bytes.
-    pub sha256: String,
-    /// JSONL records in the file.
-    pub records: u64,
-}
-
-impl ShardEntry {
-    fn to_json(&self) -> Json {
-        Json::Obj(vec![
-            ("index".to_string(), Json::U(self.spec.index as u64)),
-            ("seed".to_string(), Json::U(self.spec.seed)),
-            (
-                "accounts".to_string(),
-                Json::U(u64::from(self.spec.accounts)),
-            ),
-            (
-                "account_base".to_string(),
-                Json::U(u64::from(self.spec.account_base)),
-            ),
-            (
-                "config_sha256".to_string(),
-                Json::Str(self.spec.config_fingerprint.clone()),
-            ),
-            (
-                "fault_profile".to_string(),
-                Json::Str(self.spec.fault_profile.clone()),
-            ),
-            ("file".to_string(), Json::Str(self.file.clone())),
-            ("sha256".to_string(), Json::Str(self.sha256.clone())),
-            ("records".to_string(), Json::U(self.records)),
-        ])
-    }
-
-    fn from_json(v: &Json) -> Option<ShardEntry> {
-        let str_of = |key: &str| v.get(key).and_then(Json::as_str).map(String::from);
-        Some(ShardEntry {
-            spec: ShardSpec {
-                index: usize::try_from(v.get("index")?.as_u64()?).ok()?,
-                seed: v.get("seed")?.as_u64()?,
-                accounts: u32::try_from(v.get("accounts")?.as_u64()?).ok()?,
-                account_base: u32::try_from(v.get("account_base")?.as_u64()?).ok()?,
-                config_fingerprint: str_of("config_sha256")?,
-                fault_profile: str_of("fault_profile")?,
-            },
-            file: str_of("file")?,
-            sha256: str_of("sha256")?,
-            records: v.get("records")?.as_u64()?,
-        })
-    }
-}
-
-/// The versioned store manifest: which fleet this store belongs to and
-/// which shards are durably on disk.
-#[derive(Clone, Debug, PartialEq, Eq, Default)]
-pub struct Manifest {
-    /// The fleet's master seed.
-    pub seed: u64,
-    /// [`FleetConfig::template_fingerprint`] of the fleet's config
-    /// shape — "same seed, different experiment" is refused up front.
-    pub template_sha256: String,
-    /// Verified shard claims, sorted by shard index, at most one per
-    /// index.
-    pub shards: Vec<ShardEntry>,
-}
-
-impl Manifest {
-    /// Serialize as pretty JSON (the manifest is small and hand-read
-    /// during debugging; shard files carry the bulk).
-    pub fn to_json(&self) -> String {
-        let obj = Json::Obj(vec![
-            ("format".to_string(), Json::Str(MANIFEST_FORMAT.to_string())),
-            ("seed".to_string(), Json::U(self.seed)),
-            (
-                "template_config_sha256".to_string(),
-                Json::Str(self.template_sha256.clone()),
-            ),
-            (
-                "shards".to_string(),
-                Json::Arr(self.shards.iter().map(ShardEntry::to_json).collect()),
-            ),
-        ]);
-        let mut text = obj.pretty();
-        text.push('\n');
-        text
-    }
-
-    /// Parse a manifest; `None` for anything malformed or of a foreign
-    /// format (callers treat that as corruption, not an error to
-    /// propagate — the store quarantines and rebuilds).
-    pub fn parse(text: &str) -> Option<Manifest> {
-        let v = Json::parse(text).ok()?;
-        if v.get("format")?.as_str()? != MANIFEST_FORMAT {
-            return None;
-        }
-        let mut shards = v
-            .get("shards")?
-            .as_array()?
-            .iter()
-            .map(ShardEntry::from_json)
-            .collect::<Option<Vec<_>>>()?;
-        shards.sort_by_key(|e| e.spec.index);
-        if shards
-            .windows(2)
-            .any(|w| w[0].spec.index == w[1].spec.index)
-        {
-            return None;
-        }
-        Some(Manifest {
-            seed: v.get("seed")?.as_u64()?,
-            template_sha256: v.get("template_config_sha256")?.as_str()?.to_string(),
-            shards,
-        })
-    }
-
-    /// The shard claim at `index`, if any.
-    pub fn entry(&self, index: usize) -> Option<&ShardEntry> {
-        self.shards.iter().find(|e| e.spec.index == index)
-    }
-
-    /// Insert or replace the claim for `entry`'s index, keeping the
-    /// list sorted.
-    pub fn upsert(&mut self, entry: ShardEntry) {
-        match self
-            .shards
-            .binary_search_by_key(&entry.spec.index, |e| e.spec.index)
-        {
-            Ok(pos) => self.shards[pos] = entry,
-            Err(pos) => self.shards.insert(pos, entry),
-        }
-    }
-}
-
-/// How a claimed shard file checked out on disk.
-enum ShardState {
-    /// File present, hash matches the claim.
-    Verified,
-    /// File absent (crash before it landed, or deleted).
-    Missing,
-    /// File present but its bytes don't hash to the claim.
-    Corrupt,
-}
-
-/// A fleet store directory.
+/// A fleet store directory, opened for writing.
 pub struct FleetStore {
     dir: PathBuf,
 }
@@ -290,31 +140,8 @@ impl FleetStore {
         fs::rename(self.path(name), self.path(&format!("{name}.corrupt")))
     }
 
-    /// Streaming SHA-256 of a store file.
-    fn file_sha256(&self, name: &str) -> io::Result<Option<String>> {
-        let mut f = match File::open(self.path(name)) {
-            Ok(f) => f,
-            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
-            Err(e) => return Err(e),
-        };
-        let mut hasher = Sha256::new();
-        let mut buf = [0u8; 65536];
-        loop {
-            let n = f.read(&mut buf)?;
-            if n == 0 {
-                break;
-            }
-            hasher.update(&buf[..n]);
-        }
-        Ok(Some(hex(&hasher.finalize())))
-    }
-
     fn verify_shard(&self, entry: &ShardEntry) -> io::Result<ShardState> {
-        Ok(match self.file_sha256(&entry.file)? {
-            None => ShardState::Missing,
-            Some(actual) if actual == entry.sha256 => ShardState::Verified,
-            Some(_) => ShardState::Corrupt,
-        })
+        shard_state(&self.dir, entry)
     }
 }
 
@@ -484,58 +311,6 @@ pub fn run_fleet_store(cfg: &FleetConfig, dir: &Path) -> io::Result<StoreRun> {
     })
 }
 
-/// Load and validate a store for reading: the manifest must exist,
-/// parse, and claim a contiguous shard range `0..n` whose files all
-/// hash clean. Every reader (merge, report) goes through this, so a
-/// mutated shard file or manifest entry can never be silently merged.
-fn open_verified(dir: &Path) -> io::Result<(FleetStore, Manifest)> {
-    let store = FleetStore::open(dir)?;
-    let text = fs::read_to_string(store.path(MANIFEST_FILE)).map_err(|e| {
-        io::Error::new(
-            e.kind(),
-            format!(
-                "{}: not a fleet store (no readable {MANIFEST_FILE}): {e}",
-                dir.display()
-            ),
-        )
-    })?;
-    let manifest = Manifest::parse(&text).ok_or_else(|| {
-        io::Error::other(format!(
-            "{}: {MANIFEST_FILE} is corrupt or of an unknown format; \
-             re-run `pwnd fleet --out-dir` to rebuild the store",
-            dir.display()
-        ))
-    })?;
-    for (i, e) in manifest.shards.iter().enumerate() {
-        if e.spec.index != i {
-            return Err(io::Error::other(format!(
-                "{}: store is incomplete (no verified shard {i}); \
-                 re-run `pwnd fleet --out-dir` to fill it",
-                dir.display()
-            )));
-        }
-        match store.verify_shard(e)? {
-            ShardState::Verified => {}
-            ShardState::Missing => {
-                return Err(io::Error::other(format!(
-                    "{}: shard file {} is missing; re-run `pwnd fleet --out-dir`",
-                    dir.display(),
-                    e.file
-                )))
-            }
-            ShardState::Corrupt => {
-                return Err(io::Error::other(format!(
-                    "{}: shard file {} does not match its manifest hash \
-                     (corrupt or tampered); re-run `pwnd fleet --out-dir` to recover",
-                    dir.display(),
-                    e.file
-                )))
-            }
-        }
-    }
-    Ok((store, manifest))
-}
-
 /// Stream-merge a verified store into one JSONL dataset on `out`,
 /// byte-identical to
 /// [`FleetOutput::write_jsonl`](pwnd_core::FleetOutput::write_jsonl)
@@ -544,20 +319,17 @@ fn open_verified(dir: &Path) -> io::Result<(FleetStore, Manifest)> {
 /// lines — peak memory is one line. Returns records written.
 // lint:jsonl-consume
 pub fn merge_store_jsonl<W: Write>(dir: &Path, mut out: W) -> io::Result<u64> {
-    let (store, manifest) = open_verified(dir)?;
+    let store = VerifiedStore::open(dir)?;
     let mut written = 0u64;
     for tag in RECORD_TAGS {
-        for e in &manifest.shards {
-            let reader = BufReader::new(File::open(store.path(&e.file))?);
-            for line in reader.lines() {
-                let line = line?;
-                if record_tag(&line) == Some(tag) {
-                    out.write_all(line.as_bytes())?;
-                    out.write_all(b"\n")?;
-                    written += 1;
-                }
+        store.for_each_line(|_, _, line| {
+            if record_tag(line) == Some(tag) {
+                out.write_all(line.as_bytes())?;
+                out.write_all(b"\n")?;
+                written += 1;
             }
-        }
+            Ok(())
+        })?;
     }
     out.flush()?;
     Ok(written)
@@ -568,108 +340,33 @@ pub fn merge_store_jsonl<W: Write>(dir: &Path, mut out: W) -> io::Result<u64> {
 /// account records, one for the accesses.
 // lint:jsonl-consume
 pub fn store_overview(dir: &Path) -> io::Result<Overview> {
-    let (store, manifest) = open_verified(dir)?;
+    let store = VerifiedStore::open(dir)?;
     let mut b = OverviewBuilder::new();
     for tag in [tags::ACCOUNT, tags::ACCESS] {
-        for e in &manifest.shards {
-            let reader = BufReader::new(File::open(store.path(&e.file))?);
-            for (lineno, line) in reader.lines().enumerate() {
-                let line = line?;
-                if record_tag(&line) != Some(tag) {
-                    continue;
-                }
-                (|| -> Result<(), pwnd_telemetry::json::JsonError> {
-                    let v = Json::parse(&line)?;
-                    let value = v.get("value").ok_or(pwnd_telemetry::json::JsonError {
-                        msg: "missing value".to_string(),
-                        at: 0,
-                    })?;
-                    if tag == tags::ACCOUNT {
-                        b.add_account(&AccountRecord::from_json_value(value)?);
-                    } else {
-                        b.add_access(&ParsedAccess::from_json_value(value)?);
-                    }
-                    Ok(())
-                })()
-                .map_err(|err| {
-                    io::Error::other(format!(
-                        "{}: line {}: {tag} record: {}",
-                        e.file,
-                        lineno + 1,
-                        err.msg
-                    ))
-                })?;
+        store.for_each_line(|e, lineno, line| {
+            if record_tag(line) != Some(tag) {
+                return Ok(());
             }
-        }
+            (|| -> Result<(), pwnd_telemetry::json::JsonError> {
+                let v = Json::parse(line)?;
+                let value = v.get("value").ok_or(pwnd_telemetry::json::JsonError {
+                    msg: "missing value".to_string(),
+                    at: 0,
+                })?;
+                if tag == tags::ACCOUNT {
+                    b.add_account(&AccountRecord::from_json_value(value)?);
+                } else {
+                    b.add_access(&ParsedAccess::from_json_value(value)?);
+                }
+                Ok(())
+            })()
+            .map_err(|err| {
+                io::Error::other(format!(
+                    "{}: line {lineno}: {tag} record: {}",
+                    e.file, err.msg
+                ))
+            })
+        })?;
     }
     Ok(b.finish())
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn sample_manifest() -> Manifest {
-        Manifest {
-            seed: 11,
-            template_sha256: "t".repeat(64),
-            shards: vec![ShardEntry {
-                spec: ShardSpec {
-                    index: 0,
-                    seed: 11,
-                    accounts: 100,
-                    account_base: 0,
-                    config_fingerprint: "c".repeat(64),
-                    fault_profile: "none".to_string(),
-                },
-                file: shard_file_name(0),
-                sha256: "a".repeat(64),
-                records: 42,
-            }],
-        }
-    }
-
-    #[test]
-    fn manifest_round_trips() {
-        let m = sample_manifest();
-        let text = m.to_json();
-        assert!(text.contains(MANIFEST_FORMAT));
-        assert_eq!(Manifest::parse(&text), Some(m));
-    }
-
-    #[test]
-    fn foreign_or_malformed_manifests_rejected() {
-        assert_eq!(Manifest::parse("not json"), None);
-        assert_eq!(Manifest::parse("{}"), None);
-        let other = sample_manifest()
-            .to_json()
-            .replace(MANIFEST_FORMAT, "pwnd-fleet-store/999");
-        assert_eq!(Manifest::parse(&other), None);
-        // Duplicate shard indices are structural corruption.
-        let mut dup = sample_manifest();
-        dup.shards.push(dup.shards[0].clone());
-        assert_eq!(Manifest::parse(&dup.to_json()), None);
-    }
-
-    #[test]
-    fn upsert_replaces_by_index_and_keeps_order() {
-        let mut m = sample_manifest();
-        let mut later = m.shards[0].clone();
-        later.spec.index = 2;
-        later.file = shard_file_name(2);
-        m.upsert(later.clone());
-        let mut replacement = m.shards[0].clone();
-        replacement.sha256 = "b".repeat(64);
-        m.upsert(replacement.clone());
-        assert_eq!(m.shards.len(), 2);
-        assert_eq!(m.shards[0], replacement);
-        assert_eq!(m.shards[1], later);
-    }
-
-    #[test]
-    fn shard_file_names_sort_with_their_indices() {
-        assert_eq!(shard_file_name(0), "shard-00000.jsonl");
-        assert_eq!(shard_file_name(12345), "shard-12345.jsonl");
-        assert!(shard_file_name(9) < shard_file_name(10));
-    }
 }
